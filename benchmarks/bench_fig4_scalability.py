@@ -1,0 +1,37 @@
+"""Figure 4 — detection scalability (runtime per trajectory by length group)."""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    settings = bench_settings(joint_trajectories=100)
+    result = run_fig4(settings, max_per_group=15)
+    record_result("fig4_scalability", result.format())
+    return result
+
+
+def test_longer_groups_cost_more(fig4):
+    """Per-trajectory latency grows with trajectory length for RL4OASD."""
+    for city, by_method in fig4.per_trajectory_ms.items():
+        groups = by_method["RL4OASD"]
+        present = [groups[g] for g in sorted(groups)]
+        if len(present) >= 2:
+            assert present[-1] >= present[0]
+
+
+def test_bench_fig4_detection_long(benchmark, fig4):
+    """Time detection of one long trajectory end to end."""
+    from repro.experiments.common import prepare_city, build_pipeline
+    from repro.baselines import IBOATDetector
+
+    settings = bench_settings()
+    split = prepare_city("chengdu", settings)
+    pipeline = build_pipeline(split, settings)
+    detector = IBOATDetector(pipeline)
+    longest = max(split.test, key=len)
+    benchmark(detector.detect, longest)

@@ -1,0 +1,38 @@
+"""Figure 5 — detour case study (RL4OASD vs CTSS vs ground truth)."""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    settings = bench_settings(joint_trajectories=120)
+    result = run_fig5(settings, max_cases=3)
+    record_result("fig5_case_study", result.format())
+    return result
+
+
+def test_case_study_has_cases(fig5):
+    assert len(fig5.cases) >= 1
+    for case in fig5.cases:
+        assert set(case.predictions) == {"CTSS", "RL4OASD"}
+        assert len(case.ground_truth) == len(case.predictions["RL4OASD"])
+
+
+def test_rl4oasd_at_least_as_good_on_average(fig5):
+    """Across the case studies RL4OASD's per-trajectory F1 matches or beats CTSS."""
+    rl = sum(case.f1["RL4OASD"] for case in fig5.cases)
+    ctss = sum(case.f1["CTSS"] for case in fig5.cases)
+    assert rl >= ctss - 0.25
+
+
+def test_bench_fig5_span_metrics(benchmark, fig5):
+    """Time the span-matching metric used to score every case."""
+    from repro.eval.metrics import evaluate_labelings
+
+    truths = [case.ground_truth for case in fig5.cases]
+    preds = [case.predictions["RL4OASD"] for case in fig5.cases]
+    benchmark(evaluate_labelings, truths, preds)

@@ -1,0 +1,52 @@
+"""Figure 6 — detection under varying traffic conditions (concept drift)."""
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    settings = bench_settings(scale=0.25, joint_trajectories=80,
+                              pretrain_trajectories=150)
+    result = run_fig6(settings, xi_values=(1, 2, 4), xi_for_parts=2)
+    record_result("fig6_concept_drift", result.format())
+    return result
+
+
+def test_fine_tuning_tracks_drift(fig6):
+    """On drifted parts (part >= 2) the fine-tuned model is at least as good
+    as the frozen Part-1 model on average."""
+    later = [p for p in fig6.parts if p.part >= 1]
+    if later:
+        ft = sum(p.f1_ft for p in later) / len(later)
+        p1 = sum(p.f1_p1 for p in later) / len(later)
+        assert ft >= p1 - 0.05
+
+
+def test_fine_tuning_is_fast(fig6):
+    """Per-part fine-tuning stays far below the duration of a part of the day."""
+    assert all(p.fine_tune_seconds < 300 for p in fig6.parts)
+
+
+def test_bench_fig6_fine_tune_step(benchmark, fig6):
+    """Time a single fine-tuning step on a handful of new trajectories."""
+    from repro.datagen import tiny_dataset
+    from repro.core import RL4OASDTrainer
+    from repro.config import RSRNetConfig, ASDNetConfig, TrainingConfig
+
+    dataset = tiny_dataset(seed=6)
+    train = dataset.trajectories[:150]
+    trainer = RL4OASDTrainer(
+        dataset.network, train,
+        rsrnet_config=RSRNetConfig(embedding_dim=16, hidden_dim=16, nrf_dim=8),
+        asdnet_config=ASDNetConfig(label_embedding_dim=8),
+        training_config=TrainingConfig(pretrain_trajectories=20,
+                                       joint_trajectories=20, joint_epochs=1,
+                                       validation_interval=20),
+    )
+    trainer.train()
+    new_data = dataset.trajectories[150:160]
+    benchmark(trainer.fine_tune, new_data, 1)

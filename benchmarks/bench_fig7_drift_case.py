@@ -1,0 +1,36 @@
+"""Figure 7 — concept-drift case study (popular and unpopular routes swap)."""
+
+import pytest
+
+from repro.experiments.fig7 import run_fig7
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    settings = bench_settings(scale=0.25, joint_trajectories=80,
+                              pretrain_trajectories=150)
+    result = run_fig7(settings, n_parts=2, max_cases_per_part=2)
+    record_result("fig7_drift_case", result.format())
+    return result
+
+
+def test_cases_cover_both_parts(fig7):
+    parts = {case.part for case in fig7.cases}
+    assert 0 in parts
+    assert 1 in parts
+
+
+def test_labels_align_with_ground_truth_length(fig7):
+    for case in fig7.cases:
+        assert len(case.p1_labels) == len(case.ground_truth)
+        assert len(case.ft_labels) == len(case.ground_truth)
+
+
+def test_bench_fig7_drift_schedule(benchmark, fig7):
+    """Time the drift schedule's route-weight rotation (the data-side mechanism)."""
+    from repro.datagen import DriftSchedule
+
+    schedule = DriftSchedule(n_parts=8, rotation_per_part=1)
+    benchmark(schedule.route_weights, [0.55, 0.45], 5, True)

@@ -1,0 +1,41 @@
+"""Parameter study — the effect of alpha, delta and the delay window D."""
+
+import pytest
+
+from repro.experiments.param_study import run_param_study
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def param_study():
+    settings = bench_settings(joint_trajectories=60)
+    result = run_param_study(
+        settings,
+        alphas=(0.25, 0.35, 0.5),
+        deltas=(0.2, 0.25, 0.4),
+        delays=(0, 4, 8),
+    )
+    record_result("param_study", result.format())
+    return result
+
+
+def test_sweeps_cover_requested_values(param_study):
+    assert set(param_study.f1_by_alpha) == {0.25, 0.35, 0.5}
+    assert set(param_study.f1_by_delta) == {0.2, 0.25, 0.4}
+    assert set(param_study.f1_by_delay) == {0, 4, 8}
+
+
+def test_moderate_thresholds_win(param_study):
+    """A moderate alpha/delta outperforms the extremes on the synthetic data,
+    mirroring how the paper selects its thresholds on DiDi data."""
+    assert param_study.best_alpha() in (0.25, 0.35)
+    assert param_study.best_delta() in (0.2, 0.25)
+
+
+def test_bench_param_study_delay(benchmark, param_study):
+    """Time the delayed-labeling post-processing itself."""
+    from repro.core.detector import apply_delayed_labeling
+
+    labels = ([0] * 5 + [1] * 3 + [0] * 2 + [1] * 2 + [0] * 8) * 4
+    benchmark(apply_delayed_labeling, labels, 8)

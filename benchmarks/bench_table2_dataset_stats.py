@@ -1,0 +1,34 @@
+"""Table II — dataset statistics of the two synthetic cities."""
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def table2():
+    result = run_table2(bench_settings())
+    record_result("table2_dataset_stats", result.format())
+    return result
+
+
+def test_table2_statistics_shape(table2):
+    """Both cities are generated, Chengdu-like is the larger of the two."""
+    stats = table2.statistics
+    assert len(stats) == 2
+    chengdu = stats["chengdu-like"]
+    xian = stats["xian-like"]
+    assert chengdu.num_trajectories > xian.num_trajectories
+    assert 0.0 < chengdu.anomalous_ratio < 0.2
+    assert 0.0 < xian.anomalous_ratio < 0.25
+    assert xian.anomalous_ratio > chengdu.anomalous_ratio
+
+
+def test_bench_table2(benchmark, table2):
+    """Time the statistics computation itself (the generation ran once above)."""
+    from repro.datagen import tiny_dataset
+
+    dataset = tiny_dataset(seed=1)
+    benchmark(dataset.statistics)

@@ -1,0 +1,44 @@
+"""Table III — effectiveness comparison of RL4OASD with the seven baselines."""
+
+import pytest
+
+from repro.experiments.table3 import run_table3
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def table3():
+    result = run_table3(bench_settings())
+    record_result("table3_effectiveness", result.format())
+    return result
+
+
+def test_rl4oasd_beats_every_baseline(table3):
+    """The headline claim: RL4OASD outperforms the best baseline on both cities."""
+    for city in table3.runs:
+        assert table3.rl4oasd_f1(city) > table3.best_baseline_f1(city)
+
+
+def test_rl4oasd_absolute_quality(table3):
+    """RL4OASD reaches a high absolute F1, as in the paper (0.85 / 0.86)."""
+    for city in table3.runs:
+        assert table3.rl4oasd_f1(city) > 0.6
+
+
+def test_all_baselines_present(table3):
+    for city, runs in table3.runs.items():
+        assert set(runs) == {"IBOAT", "DBTOD", "GM-VSAE", "SD-VSAE", "SAE",
+                             "VSAE", "CTSS", "RL4OASD"}
+
+
+def test_bench_table3_detection(benchmark, table3):
+    """Time one online detection with the trained RL4OASD-equivalent pipeline."""
+    from repro.experiments.common import prepare_city, build_pipeline, train_rl4oasd
+
+    settings = bench_settings(joint_trajectories=40)
+    split = prepare_city("chengdu", settings)
+    model, _ = train_rl4oasd(split, settings)
+    detector = model.detector()
+    trajectory = split.test[0]
+    benchmark(detector.detect, trajectory)

@@ -1,0 +1,41 @@
+"""Table IV — ablation study of RL4OASD's components."""
+
+import pytest
+
+from repro.experiments.table4 import run_table4
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def table4():
+    settings = bench_settings(joint_trajectories=120)
+    result = run_table4(settings)
+    record_result("table4_ablation", result.format())
+    return result
+
+
+def test_full_model_is_best_or_close(table4):
+    """The full model is at least as good as the heavily ablated variants."""
+    f1 = table4.f1_by_variant
+    full = f1["RL4OASD"]
+    assert full >= f1["only transition frequency"] - 0.05
+    assert full >= f1["w/o noisy labels"] - 0.05
+
+
+def test_every_ablation_row_present(table4):
+    expected = {"RL4OASD", "w/o noisy labels", "w/o road segment embeddings",
+                "w/o RNEL", "w/o DL", "w/o local reward", "w/o global reward",
+                "w/o ASDNet", "only transition frequency"}
+    assert set(table4.f1_by_variant) == expected
+
+
+def test_bench_table4_noisy_labels(benchmark, table4):
+    """Time the noisy-label construction that warm-starts every variant."""
+    from repro.datagen import tiny_dataset
+    from repro.labeling import PreprocessingPipeline
+
+    dataset = tiny_dataset(seed=2)
+    pipeline = PreprocessingPipeline(dataset.network, dataset.trajectories)
+    trajectory = dataset.trajectories[0]
+    benchmark(pipeline.preprocess, trajectory)

@@ -1,0 +1,39 @@
+"""Table V — preprocessing and training time as the data size grows."""
+
+import pytest
+
+from repro.experiments.table5 import run_table5
+
+from conftest import bench_settings, record_result
+
+
+@pytest.fixture(scope="module")
+def table5():
+    settings = bench_settings(joint_trajectories=100)
+    result = run_table5(settings, data_sizes=(150, 300, 450, 600),
+                        raw_sample_per_size=25)
+    record_result("table5_scaling", result.format())
+    return result
+
+
+def test_costs_grow_with_data_size(table5):
+    """Preprocessing and training cost grow (roughly linearly) with data size."""
+    rows = table5.rows
+    assert rows[-1].map_matching_seconds > rows[0].map_matching_seconds
+    assert rows[-1].noisy_labeling_seconds >= rows[0].noisy_labeling_seconds * 0.8
+    assert rows[-1].training_seconds >= rows[0].training_seconds * 0.8
+
+
+def test_f1_is_reasonable_at_every_size(table5):
+    assert all(row.f1 > 0.3 for row in table5.rows)
+
+
+def test_bench_table5_map_matching(benchmark, table5):
+    """Time HMM map matching of a single raw trajectory."""
+    from repro.datagen import tiny_dataset
+    from repro.mapmatching import HMMMapMatcher
+
+    dataset = tiny_dataset(seed=4, include_raw=True)
+    matcher = HMMMapMatcher(dataset.network)
+    raw = dataset.raw_trajectories[0]
+    benchmark(matcher.match, raw)

@@ -1,0 +1,55 @@
+"""Concept drift: keep the detector calibrated while route popularity shifts.
+
+Traffic conditions change over the day; a route that used to be "the" normal
+route may become unpopular (e.g. because of congestion), and a previously rare
+route becomes the new normal. This example reproduces Section V-G's setting:
+the day is split into parts, route popularity rotates between parts, and a
+model fine-tuned part by part (RL4OASD-FT) is compared against a model frozen
+after the first part (RL4OASD-P1).
+
+Run with::
+
+    python examples/concept_drift_adaptation.py
+"""
+
+from repro.core import OnlineLearner
+from repro.datagen import DriftSchedule
+from repro.eval import evaluate_detector
+from repro.experiments.common import ExperimentSettings, prepare_city
+from repro.experiments.fig6 import _split_by_part, _train_on_part
+
+
+def main() -> None:
+    n_parts = 2
+    settings = ExperimentSettings(scale=0.25, joint_trajectories=120)
+    drift = DriftSchedule(n_parts=n_parts, rotation_per_part=1,
+                          drifting_pair_fraction=1.0)
+    print("generating a drifting city (route popularity swaps between parts) ...")
+    split = prepare_city("chengdu", settings, drift=drift)
+    train_parts, test_parts = _split_by_part(split, n_parts)
+
+    print("training the frozen model on Part 1 (RL4OASD-P1) ...")
+    frozen_detector = _train_on_part(split, train_parts[0], settings).train().detector()
+
+    print("training the adaptive model (RL4OASD-FT) ...")
+    learner = OnlineLearner(_train_on_part(split, train_parts[0], settings))
+    learner.initial_fit()
+
+    for part in range(n_parts):
+        if part > 0:
+            record = learner.observe_part(part, train_parts[part])
+            print(f"  fine-tuned on part {part + 1} "
+                  f"({record.num_trajectories} new trips, {record.seconds:.1f}s)")
+        if not test_parts[part]:
+            continue
+        p1 = evaluate_detector(frozen_detector, test_parts[part], name="P1")
+        ft = evaluate_detector(learner.detector(), test_parts[part], name="FT")
+        print(f"Part {part + 1}:  RL4OASD-P1 F1 = {p1.overall.f1:.3f}   "
+              f"RL4OASD-FT F1 = {ft.overall.f1:.3f}")
+
+    print("\nThe frozen model degrades once the popular route changes; the "
+          "fine-tuned model keeps tracking the current notion of 'normal'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""RL4OASD — online anomalous subtrajectory detection on road networks with
+deep reinforcement learning (reproduction).
+
+The package is organised bottom-up:
+
+* :mod:`repro.roadnet` — road networks (graphs, builders, spatial index, routing)
+* :mod:`repro.trajectory` — trajectory data model, SD pairs, similarity measures
+* :mod:`repro.mapmatching` — HMM map matching of raw GPS traces
+* :mod:`repro.datagen` — synthetic taxi-trajectory datasets with ground truth
+* :mod:`repro.nn` — numpy neural-network substrate (LSTM, GRU, REINFORCE pieces)
+* :mod:`repro.embeddings` — road-segment representation learning (Toast substitute)
+* :mod:`repro.labeling` — noisy labels and normal-route features
+* :mod:`repro.core` — RSRNet, ASDNet, the RL4OASD trainer and the online detector
+* :mod:`repro.baselines` — IBOAT, DBTOD, CTSS, SAE/VSAE/GM-VSAE/SD-VSAE, …
+* :mod:`repro.eval` — F1/TF1 metrics, length grouping, timing harnesses
+* :mod:`repro.experiments` — one harness per table/figure of the paper
+
+Quickstart::
+
+    from repro.experiments.common import ExperimentSettings, prepare_city, train_rl4oasd
+    from repro.eval import evaluate_detector
+
+    split = prepare_city("chengdu", ExperimentSettings(scale=0.3))
+    model, _ = train_rl4oasd(split)
+    print(evaluate_detector(model.detector(), split.test).overall.f1)
+"""
+
+from .config import (
+    ASDNetConfig,
+    DataGenConfig,
+    EmbeddingConfig,
+    LabelingConfig,
+    MapMatchingConfig,
+    RL4OASDConfig,
+    RoadNetworkConfig,
+    RSRNetConfig,
+    TrainingConfig,
+    small_config,
+)
+from .exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "RL4OASDConfig",
+    "RoadNetworkConfig",
+    "MapMatchingConfig",
+    "DataGenConfig",
+    "EmbeddingConfig",
+    "LabelingConfig",
+    "RSRNetConfig",
+    "ASDNetConfig",
+    "TrainingConfig",
+    "small_config",
+]

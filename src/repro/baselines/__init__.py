@@ -1,0 +1,43 @@
+"""Baselines the paper compares against (Section V-A).
+
+Every baseline follows the same adaptation protocol as the paper: methods that
+natively output an anomaly *score* per point (DBTOD, CTSS, the VSAE family,
+the transition-frequency heuristic) are wrapped by
+:class:`~repro.baselines.adapt.ThresholdedDetector`, whose threshold is tuned
+on a small development set; IBOAT labels segments directly.
+
+* :class:`~repro.baselines.iboat.IBOATDetector` — isolation-based online
+  detection with an adaptive window (Chen et al. 2013).
+* :class:`~repro.baselines.dbtod.DBTODScorer` — probabilistic driving-behaviour
+  model (Wu et al. 2017).
+* :class:`~repro.baselines.ctss.CTSSScorer` — continuous trajectory similarity
+  (discrete Fréchet) against a reference route (Zhang et al. 2020).
+* :class:`~repro.baselines.vsae.SAEScorer`, :class:`VSAEScorer`,
+  :class:`GMVSAEScorer`, :class:`SDVSAEScorer` — generative sequence
+  autoencoders (Liu et al. 2020) and their adaptations.
+* :class:`~repro.baselines.frequency.TransitionFrequencyScorer` — the
+  transition-frequency-only heuristic used in the ablation study.
+"""
+
+from .base import BaselineResult, ScoringDetector
+from .adapt import ThresholdedDetector, tune_threshold
+from .iboat import IBOATDetector
+from .dbtod import DBTODScorer
+from .ctss import CTSSScorer
+from .frequency import TransitionFrequencyScorer
+from .vsae import GMVSAEScorer, SAEScorer, SDVSAEScorer, VSAEScorer
+
+__all__ = [
+    "BaselineResult",
+    "ScoringDetector",
+    "ThresholdedDetector",
+    "tune_threshold",
+    "IBOATDetector",
+    "DBTODScorer",
+    "CTSSScorer",
+    "TransitionFrequencyScorer",
+    "SAEScorer",
+    "VSAEScorer",
+    "GMVSAEScorer",
+    "SDVSAEScorer",
+]

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: the RL4OASD detector.
+
+* :class:`~repro.core.rsrnet.RSRNet` — the Road Segment Representation
+  Network: an LSTM over pre-trained traffic-context embeddings concatenated
+  with embedded normal-route features, trained with cross-entropy against
+  (noisy, later refined) labels.
+* :class:`~repro.core.asdnet.ASDNet` — the Anomalous Subtrajectory Detection
+  Network: a single-layer policy over MDP states ``[z_i ; v(label_{i-1})]``
+  trained with REINFORCE.
+* :mod:`~repro.core.rewards` — the local (label-continuity) and global
+  (RSRNet-loss) rewards.
+* :class:`~repro.core.rl4oasd.RL4OASDTrainer` — pre-training on noisy labels
+  followed by iterative joint training of the two networks.
+* :class:`~repro.core.detector.OnlineDetector` — Algorithm 1, with the
+  road-network-enhanced labeling (RNEL) and delayed labeling (DL)
+  enhancements.
+* :class:`~repro.core.online.OnlineLearner` — the online learning strategy
+  used to handle concept drift (RL4OASD-FT in the paper).
+"""
+
+from .rsrnet import RSRNet, RSRNetStepState
+from .asdnet import ASDNet
+from .rewards import global_reward, local_reward
+from .rl4oasd import RL4OASDModel, RL4OASDTrainer, TrainingReport
+from .detector import DetectionResult, OnlineDetector
+from .online import OnlineLearner
+
+__all__ = [
+    "RSRNet",
+    "RSRNetStepState",
+    "ASDNet",
+    "local_reward",
+    "global_reward",
+    "RL4OASDTrainer",
+    "RL4OASDModel",
+    "TrainingReport",
+    "OnlineDetector",
+    "DetectionResult",
+    "OnlineLearner",
+]

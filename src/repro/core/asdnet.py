@@ -1,0 +1,190 @@
+"""ASDNet — the Anomalous Subtrajectory Detection Network (Section IV-D).
+
+ASDNet is the policy of the labeling MDP. The state of segment ``e_i`` is the
+concatenation of RSRNet's representation ``z_i`` and the embedding of the
+previous segment's label, ``s_i = [z_i ; v(e_{i-1}.l)]``. The action labels the
+segment normal (0) or anomalous (1). The policy is a single-layer feed-forward
+network with a softmax output, trained with REINFORCE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ASDNetConfig
+from ..exceptions import ModelError
+from ..nn.layers import Embedding, Linear
+from ..nn.losses import softmax
+from ..nn.module import Module
+from ..nn.optim import Adam, clip_gradients
+
+
+@dataclass
+class EpisodeStep:
+    """Bookkeeping of one sampled (stochastic) decision of an episode."""
+
+    state: np.ndarray
+    action: int
+    probabilities: np.ndarray
+    label_token: int
+    linear_cache: dict
+    label_cache: dict
+
+
+@dataclass
+class Episode:
+    """All stochastic decisions taken while labeling one trajectory."""
+
+    steps: List[EpisodeStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class ASDNet(Module):
+    """The policy network of the labeling MDP."""
+
+    NUM_ACTIONS = 2
+
+    def __init__(self, representation_dim: int,
+                 config: Optional[ASDNetConfig] = None):
+        super().__init__()
+        self._config = (config or ASDNetConfig()).validate()
+        config = self._config
+        if representation_dim < 1:
+            raise ModelError("representation_dim must be positive")
+        rng = np.random.default_rng(config.seed)
+        self.representation_dim = representation_dim
+        self.label_embedding = Embedding(2, config.label_embedding_dim, rng)
+        self.policy = Linear(representation_dim + config.label_embedding_dim,
+                             self.NUM_ACTIONS, rng)
+        self._optimizer = Adam(self.parameters(), learning_rate=config.learning_rate)
+        self._rng = np.random.default_rng(config.seed + 1)
+        self._return_baseline: Optional[float] = None
+
+    @property
+    def config(self) -> ASDNetConfig:
+        return self._config
+
+    @property
+    def state_dim(self) -> int:
+        return self.representation_dim + self._config.label_embedding_dim
+
+    # --------------------------------------------------------------- states
+    def build_state(self, z: np.ndarray, previous_label: int
+                    ) -> Tuple[np.ndarray, dict]:
+        """Construct the MDP state ``[z_i ; v(e_{i-1}.l)]``."""
+        if previous_label not in (0, 1):
+            raise ModelError("previous_label must be 0 or 1")
+        z = np.asarray(z, dtype=np.float64).ravel()
+        if z.shape[0] != self.representation_dim:
+            raise ModelError(
+                f"representation must have dim {self.representation_dim}, "
+                f"got {z.shape[0]}")
+        label_vector, label_cache = self.label_embedding([previous_label])
+        state = np.concatenate([z, label_vector[0]])
+        return state, label_cache
+
+    # --------------------------------------------------------------- actions
+    def action_probabilities(self, state: np.ndarray) -> Tuple[np.ndarray, dict]:
+        logits, cache = self.policy(state)
+        return softmax(logits), cache
+
+    def sample_action(
+        self, z: np.ndarray, previous_label: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[int, EpisodeStep]:
+        """Sample an action from the stochastic policy; returns bookkeeping too."""
+        rng = rng or self._rng
+        state, label_cache = self.build_state(z, previous_label)
+        probabilities, linear_cache = self.action_probabilities(state)
+        action = int(rng.choice(self.NUM_ACTIONS, p=probabilities))
+        step = EpisodeStep(
+            state=state, action=action, probabilities=probabilities,
+            label_token=previous_label, linear_cache=linear_cache,
+            label_cache=label_cache,
+        )
+        return action, step
+
+    def evaluate_action(self, z: np.ndarray, previous_label: int,
+                        action: int) -> EpisodeStep:
+        """Bookkeeping for a *forced* action (used to warm-start the policy).
+
+        During pre-training the paper specifies the actions as the noisy
+        labels; this method records the state, the forced action and the
+        policy's probabilities so the same REINFORCE update can be applied.
+        """
+        if action not in (0, 1):
+            raise ModelError("action must be 0 or 1")
+        state, label_cache = self.build_state(z, previous_label)
+        probabilities, linear_cache = self.action_probabilities(state)
+        return EpisodeStep(
+            state=state, action=action, probabilities=probabilities,
+            label_token=previous_label, linear_cache=linear_cache,
+            label_cache=label_cache,
+        )
+
+    def greedy_action(self, z: np.ndarray, previous_label: int) -> int:
+        """The most probable action (used at detection time)."""
+        state, _ = self.build_state(z, previous_label)
+        probabilities, _ = self.action_probabilities(state)
+        return int(np.argmax(probabilities))
+
+    def action_probability(self, z: np.ndarray, previous_label: int) -> np.ndarray:
+        """Action distribution for one state (used by tests and diagnostics)."""
+        state, _ = self.build_state(z, previous_label)
+        probabilities, _ = self.action_probabilities(state)
+        return probabilities
+
+    # -------------------------------------------------------------- learning
+    def reinforce_update(self, episode: Episode, episode_return: float,
+                         use_baseline: Optional[bool] = None) -> float:
+        """One REINFORCE (policy-gradient) update for a finished episode.
+
+        Gradients are ``-R_n * d log pi(a_i | s_i) / d theta`` summed over the
+        episode's stochastic steps (Equation 4); the optimizer minimises, so
+        the negative sign turns gradient ascent into descent. A moving-average
+        baseline is subtracted from the return by default (standard variance
+        reduction; disable it for the forced-action warm start, which behaves
+        like weighted behaviour cloning). Returns the mean log-probability of
+        the taken actions (a diagnostic of policy confidence).
+        """
+        if not episode.steps:
+            return 0.0
+        if use_baseline is None:
+            use_baseline = self._config.use_baseline
+        advantage = episode_return
+        if use_baseline:
+            if self._return_baseline is None:
+                self._return_baseline = episode_return
+            advantage = episode_return - self._return_baseline
+            momentum = self._config.baseline_momentum
+            self._return_baseline = (momentum * self._return_baseline
+                                     + (1.0 - momentum) * episode_return)
+        self.zero_grad()
+        total_log_prob = 0.0
+        entropy_bonus = self._config.entropy_bonus
+        for step in episode.steps:
+            probabilities = step.probabilities
+            grad_logits = probabilities.copy()
+            grad_logits[step.action] -= 1.0
+            # d(-log pi)/dlogits = probs - onehot; multiply by the advantage.
+            grad_logits *= advantage
+            if entropy_bonus > 0:
+                # Encourage exploration by additionally ascending the entropy.
+                entropy_grad = probabilities * (
+                    np.log(probabilities + 1e-12)
+                    + 1.0
+                    - np.sum(probabilities * np.log(probabilities + 1e-12))
+                )
+                grad_logits += entropy_bonus * entropy_grad
+            grad_state = self.policy.backward(grad_logits, step.linear_cache)
+            grad_label_vector = grad_state[self.representation_dim:]
+            self.label_embedding.backward(grad_label_vector[None, :], step.label_cache)
+            total_log_prob += float(np.log(probabilities[step.action] + 1e-12))
+        clip_gradients(self.parameters(), self._config.grad_clip)
+        self._optimizer.step()
+        return total_log_prob / len(episode.steps)

@@ -1,0 +1,83 @@
+"""Online learning under concept drift (Section V-G).
+
+The paper compares two regimes:
+
+* ``RL4OASD-P1`` — train once on the first part of the day and keep the model
+  frozen for every later part;
+* ``RL4OASD-FT`` — keep fine-tuning the model as the trajectories of each new
+  part are recorded, so the notion of "normal route" tracks the changing
+  traffic.
+
+:class:`OnlineLearner` wraps a trainer and implements the FT regime; the P1
+regime is simply "never call :meth:`observe_part`".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ModelError
+from ..trajectory.models import MatchedTrajectory
+from .detector import OnlineDetector
+from .rl4oasd import RL4OASDModel, RL4OASDTrainer
+
+
+@dataclass
+class FineTuneRecord:
+    """Bookkeeping of one fine-tuning round."""
+
+    part: int
+    num_trajectories: int
+    seconds: float
+
+
+class OnlineLearner:
+    """Keeps an RL4OASD model up to date as new trajectory data arrives."""
+
+    def __init__(self, trainer: RL4OASDTrainer, fine_tune_epochs: int = 1):
+        if fine_tune_epochs < 1:
+            raise ModelError("fine_tune_epochs must be at least 1")
+        self._trainer = trainer
+        self._fine_tune_epochs = fine_tune_epochs
+        self._records: List[FineTuneRecord] = []
+        self._model: Optional[RL4OASDModel] = None
+
+    @property
+    def records(self) -> List[FineTuneRecord]:
+        return list(self._records)
+
+    @property
+    def trainer(self) -> RL4OASDTrainer:
+        return self._trainer
+
+    def initial_fit(self) -> RL4OASDModel:
+        """Train the model on the initial data partition (Part 1)."""
+        self._model = self._trainer.train()
+        return self._model
+
+    def observe_part(self, part: int,
+                     trajectories: Sequence[MatchedTrajectory]) -> FineTuneRecord:
+        """Fine-tune on the trajectories recorded during one part of the day."""
+        if self._model is None:
+            raise ModelError("call initial_fit() before observe_part()")
+        started = time.perf_counter()
+        self._trainer.fine_tune(trajectories, epochs=self._fine_tune_epochs)
+        record = FineTuneRecord(
+            part=part,
+            num_trajectories=len(trajectories),
+            seconds=time.perf_counter() - started,
+        )
+        self._records.append(record)
+        return record
+
+    def detector(self, greedy: bool = True, seed: int = 0) -> OnlineDetector:
+        """A detector using the current (possibly fine-tuned) model."""
+        if self._model is None:
+            raise ModelError("call initial_fit() before requesting a detector")
+        return self._trainer.model().detector(greedy=greedy, seed=seed)
+
+    def training_time_by_part(self) -> Dict[int, float]:
+        """Seconds spent fine-tuning per part (Figure 6d)."""
+        return {record.part: record.seconds for record in self._records}

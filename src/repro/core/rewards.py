@@ -1,0 +1,46 @@
+"""Rewards of the labeling MDP (Section IV-D).
+
+* The *local reward* encourages label continuity: when two adjacent segments
+  get the same label the agent is rewarded by the cosine similarity of their
+  representations, and penalised by it when the labels differ.
+* The *global reward* measures the quality of the refined labels through the
+  loss RSRNet incurs when trained against them: ``r_global = 1 / (1 + L)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..nn.functional import cosine_similarity
+
+
+def local_reward(z_previous: np.ndarray, z_current: np.ndarray,
+                 label_previous: int, label_current: int) -> float:
+    """Local (continuity) reward for one step of the MDP (Equation 2)."""
+    if label_previous not in (0, 1) or label_current not in (0, 1):
+        raise ModelError("labels must be 0 or 1")
+    sign = 1.0 if label_previous == label_current else -1.0
+    return sign * cosine_similarity(z_previous, z_current)
+
+
+def global_reward(rsrnet_loss: float) -> float:
+    """Global reward derived from RSRNet's cross-entropy loss (Equation 3)."""
+    if rsrnet_loss < 0:
+        raise ModelError("a cross-entropy loss cannot be negative")
+    return 1.0 / (1.0 + rsrnet_loss)
+
+
+def episode_return(local_rewards: Sequence[float], global_value: float) -> float:
+    """The cumulative reward ``R_n`` of an episode (Equation 5).
+
+    ``R_n`` averages the local rewards over the trajectory's steps and adds
+    the global reward once.
+    """
+    if not (0.0 <= global_value <= 1.0):
+        raise ModelError("the global reward must lie in [0, 1]")
+    if not local_rewards:
+        return global_value
+    return float(np.mean(local_rewards)) + global_value

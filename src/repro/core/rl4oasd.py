@@ -1,0 +1,379 @@
+"""Joint training of RSRNet and ASDNet — the RL4OASD algorithm (Section IV)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import (
+    ASDNetConfig,
+    LabelingConfig,
+    RL4OASDConfig,
+    RSRNetConfig,
+    TrainingConfig,
+)
+from ..exceptions import ModelError, NotFittedError
+from ..labeling.features import PreprocessedTrajectory, PreprocessingPipeline
+from ..roadnet.graph import RoadNetwork
+from ..trajectory.models import MatchedTrajectory
+from .asdnet import ASDNet, Episode
+from .detector import OnlineDetector, apply_rnel
+from .rewards import episode_return, global_reward, local_reward
+from .rsrnet import RSRNet
+
+
+@dataclass
+class TrainingReport:
+    """Diagnostics collected while training RL4OASD."""
+
+    pretrain_losses: List[float] = field(default_factory=list)
+    joint_losses: List[float] = field(default_factory=list)
+    episode_returns: List[float] = field(default_factory=list)
+    validation_f1: List[float] = field(default_factory=list)
+    best_validation_f1: float = float("nan")
+    pretrain_seconds: float = 0.0
+    joint_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.pretrain_seconds + self.joint_seconds
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "pretrain_seconds": self.pretrain_seconds,
+            "joint_seconds": self.joint_seconds,
+            "final_joint_loss": self.joint_losses[-1] if self.joint_losses else float("nan"),
+            "mean_episode_return": (float(np.mean(self.episode_returns))
+                                    if self.episode_returns else float("nan")),
+        }
+
+
+@dataclass
+class RL4OASDModel:
+    """A trained RL4OASD model: both networks plus the preprocessing pipeline."""
+
+    rsrnet: RSRNet
+    asdnet: ASDNet
+    pipeline: PreprocessingPipeline
+    training_config: TrainingConfig
+    report: TrainingReport
+
+    def detector(self, greedy: bool = True, seed: int = 0) -> OnlineDetector:
+        """An online detector using this model (Algorithm 1)."""
+        return OnlineDetector(
+            rsrnet=self.rsrnet,
+            asdnet=self.asdnet,
+            pipeline=self.pipeline,
+            use_rnel=self.training_config.use_rnel,
+            use_delayed_labeling=self.training_config.use_delayed_labeling,
+            delay_window=self.training_config.delayed_labeling_window,
+            greedy=greedy,
+            seed=seed,
+        )
+
+
+class RL4OASDTrainer:
+    """Trains RL4OASD without labeled data (noisy labels + iterative refinement).
+
+    The trainer also exposes every ablation switch of Table IV through
+    :class:`~repro.config.TrainingConfig`:
+
+    * ``use_noisy_labels`` — replace the noisy labels with random labels,
+    * ``use_pretrained_embeddings`` — replace the Toast-style embeddings with
+      random initialisation,
+    * ``use_rnel`` / ``use_delayed_labeling`` — disable the two enhancements,
+    * ``use_local_reward`` / ``use_global_reward`` — drop one reward term,
+    * ``use_asdnet`` — degrade to an ordinary classifier trained on noisy
+      labels (no label refinement).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        historical: Sequence[MatchedTrajectory],
+        labeling_config: Optional[LabelingConfig] = None,
+        rsrnet_config: Optional[RSRNetConfig] = None,
+        asdnet_config: Optional[ASDNetConfig] = None,
+        training_config: Optional[TrainingConfig] = None,
+        pretrained_embeddings: Optional[np.ndarray] = None,
+        development_set: Optional[Sequence[MatchedTrajectory]] = None,
+    ):
+        if not historical:
+            raise ModelError("training requires at least one historical trajectory")
+        self._network = network
+        self._development_set = list(development_set) if development_set else []
+        self._labeling_config = (labeling_config or LabelingConfig()).validate()
+        self._rsrnet_config = (rsrnet_config or RSRNetConfig()).validate()
+        self._asdnet_config = (asdnet_config or ASDNetConfig()).validate()
+        self._training_config = (training_config or TrainingConfig()).validate()
+        self._historical = list(historical)
+        self._pipeline = PreprocessingPipeline(network, self._historical,
+                                               self._labeling_config)
+        self._rng = np.random.default_rng(self._training_config.seed)
+
+        embeddings = pretrained_embeddings
+        if not self._training_config.use_pretrained_embeddings:
+            embeddings = None
+        self._rsrnet = RSRNet(
+            vocabulary_size=len(self._pipeline.vocabulary),
+            config=self._rsrnet_config,
+            pretrained_embeddings=embeddings,
+        )
+        self._asdnet = ASDNet(
+            representation_dim=self._rsrnet.representation_dim,
+            config=self._asdnet_config,
+        )
+        self._trained = False
+        self._report = TrainingReport()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def pipeline(self) -> PreprocessingPipeline:
+        return self._pipeline
+
+    @property
+    def rsrnet(self) -> RSRNet:
+        return self._rsrnet
+
+    @property
+    def asdnet(self) -> ASDNet:
+        return self._asdnet
+
+    @property
+    def training_config(self) -> TrainingConfig:
+        return self._training_config
+
+    # ------------------------------------------------------------- sampling
+    def _sample_trajectories(self, count: int) -> List[MatchedTrajectory]:
+        count = min(count, len(self._historical))
+        indices = self._rng.choice(len(self._historical), size=count, replace=False)
+        return [self._historical[i] for i in indices]
+
+    def _training_labels(self, preprocessed: PreprocessedTrajectory) -> List[int]:
+        """Noisy labels, or random labels under the "w/o noisy labels" ablation."""
+        if self._training_config.use_noisy_labels:
+            return list(preprocessed.noisy_labels)
+        random_labels = self._rng.integers(0, 2, size=len(preprocessed)).tolist()
+        random_labels[0] = 0
+        random_labels[-1] = 0
+        return [int(label) for label in random_labels]
+
+    # ------------------------------------------------------------- training
+    def train(self) -> RL4OASDModel:
+        """Run pre-training and joint training; returns the trained model."""
+        self._pretrain()
+        if self._training_config.use_asdnet:
+            self._joint_training()
+        self._trained = True
+        return RL4OASDModel(
+            rsrnet=self._rsrnet,
+            asdnet=self._asdnet,
+            pipeline=self._pipeline,
+            training_config=self._training_config,
+            report=self._report,
+        )
+
+    def _pretrain(self) -> None:
+        """Warm-start both networks using the noisy labels."""
+        config = self._training_config
+        started = time.perf_counter()
+        sample = self._sample_trajectories(config.pretrain_trajectories)
+        for _ in range(config.pretrain_epochs):
+            for trajectory in sample:
+                preprocessed = self._pipeline.preprocess(trajectory)
+                labels = self._training_labels(preprocessed)
+                loss = self._rsrnet.train_step(
+                    preprocessed.tokens, preprocessed.normal_route_features, labels)
+                self._report.pretrain_losses.append(loss)
+            if config.use_asdnet:
+                for trajectory in sample:
+                    preprocessed = self._pipeline.preprocess(trajectory)
+                    labels = self._training_labels(preprocessed)
+                    self._run_episode(preprocessed, forced_labels=labels)
+        self._report.pretrain_seconds = time.perf_counter() - started
+
+    def _joint_training(self) -> None:
+        """Iteratively refine labels with ASDNet and retrain RSRNet on them.
+
+        The paper notes that "the best model is chosen during the process":
+        every ``validation_interval`` trajectories the current model is scored
+        on the development set (or, when none is given, against the noisy
+        labels of a held-back training sample) and the best-scoring snapshot
+        is restored at the end. This guards against the degenerate fixed point
+        where the policy labels everything normal and RSRNet is retrained to
+        agree with it.
+        """
+        config = self._training_config
+        started = time.perf_counter()
+        sample = self._sample_trajectories(config.joint_trajectories)
+
+        best_f1 = self._validation_f1()
+        best_state = (self._rsrnet.state_dict(), self._asdnet.state_dict())
+        self._report.validation_f1.append(best_f1)
+
+        for index, trajectory in enumerate(sample, start=1):
+            preprocessed = self._pipeline.preprocess(trajectory)
+            for _ in range(config.joint_epochs):
+                refined_labels, episode_value = self._run_episode(preprocessed)
+                loss = self._rsrnet.train_step(
+                    preprocessed.tokens,
+                    preprocessed.normal_route_features,
+                    refined_labels,
+                )
+                self._report.joint_losses.append(loss)
+                self._report.episode_returns.append(episode_value)
+            if index % config.validation_interval == 0 or index == len(sample):
+                score = self._validation_f1()
+                self._report.validation_f1.append(score)
+                if score >= best_f1:
+                    best_f1 = score
+                    best_state = (self._rsrnet.state_dict(),
+                                  self._asdnet.state_dict())
+
+        self._rsrnet.load_state_dict(best_state[0])
+        self._asdnet.load_state_dict(best_state[1])
+        self._report.best_validation_f1 = best_f1
+        self._report.joint_seconds = time.perf_counter() - started
+
+    def _validation_f1(self) -> float:
+        """F1 of the current model on the development set.
+
+        When no development set was provided, the noisy labels of a fixed
+        sample of training trajectories act as pseudo ground truth — this
+        keeps model selection label-free, at the cost of a noisier signal.
+        """
+        from ..eval.metrics import evaluate_labelings
+
+        config = self._training_config
+        if self._development_set:
+            reference = self._development_set[: config.validation_sample]
+            truths = [trajectory.labels for trajectory in reference]
+        else:
+            reference = self._historical[: config.validation_sample]
+            truths = [
+                self._pipeline.preprocess(trajectory).noisy_labels
+                for trajectory in reference
+            ]
+        detector = OnlineDetector(
+            rsrnet=self._rsrnet,
+            asdnet=self._asdnet,
+            pipeline=self._pipeline,
+            use_rnel=config.use_rnel,
+            use_delayed_labeling=config.use_delayed_labeling,
+            delay_window=config.delayed_labeling_window,
+            greedy=True,
+        )
+        predictions = [detector.detect(trajectory).labels for trajectory in reference]
+        report = evaluate_labelings(truths, predictions)
+        return report.f1
+
+    def _run_episode(
+        self,
+        preprocessed: PreprocessedTrajectory,
+        forced_labels: Optional[Sequence[int]] = None,
+    ) -> Tuple[List[int], float]:
+        """Label one trajectory with the current policy and update ASDNet.
+
+        When ``forced_labels`` is given, the policy is updated as if it had
+        chosen those labels (the pre-training warm start). Returns the refined
+        labels and the episode return.
+        """
+        config = self._training_config
+        tokens = preprocessed.tokens
+        nrf = preprocessed.normal_route_features
+        segments = preprocessed.trajectory.segments
+        n = len(tokens)
+
+        z, _, _ = self._rsrnet.forward(tokens, nrf)
+        labels: List[int] = [0]
+        episode = Episode()
+        for i in range(1, n):
+            if i == n - 1:
+                labels.append(0)
+                continue
+            if forced_labels is not None:
+                action = int(forced_labels[i])
+                episode.steps.append(
+                    self._asdnet.evaluate_action(z[i], labels[-1], action))
+                labels.append(action)
+                continue
+            deterministic = None
+            if config.use_rnel:
+                deterministic = apply_rnel(self._network, segments[i - 1],
+                                           segments[i], labels[-1])
+            if deterministic is not None:
+                labels.append(deterministic)
+                continue
+            action, step = self._asdnet.sample_action(z[i], labels[-1],
+                                                      rng=self._rng)
+            episode.steps.append(step)
+            labels.append(action)
+
+        local_rewards: List[float] = []
+        if config.use_local_reward:
+            local_rewards = [
+                local_reward(z[i - 1], z[i], labels[i - 1], labels[i])
+                for i in range(1, n)
+            ]
+        if config.use_global_reward:
+            refined_loss = self._rsrnet.loss(tokens, nrf, labels)
+            global_value = global_reward(refined_loss)
+        else:
+            global_value = 0.0
+        episode_value = episode_return(local_rewards, global_value)
+        # Forced-label episodes are the warm start: they behave like weighted
+        # behaviour cloning, so the variance-reducing baseline is not applied.
+        self._asdnet.reinforce_update(
+            episode, episode_value,
+            use_baseline=None if forced_labels is None else False,
+        )
+        return labels, episode_value
+
+    # ------------------------------------------------------- online updates
+    def fine_tune(self, new_trajectories: Sequence[MatchedTrajectory],
+                  epochs: int = 1) -> None:
+        """Continue training on newly recorded trajectories (concept drift).
+
+        The new trajectories extend the historical index (so the normal-route
+        statistics shift with the new traffic), and both networks take
+        additional gradient steps on them.
+        """
+        if not new_trajectories:
+            return
+        self._historical.extend(new_trajectories)
+        self._pipeline.extend_history(new_trajectories)
+        config = self._training_config
+        for _ in range(max(1, epochs)):
+            for trajectory in new_trajectories:
+                preprocessed = self._pipeline.preprocess(trajectory)
+                if config.use_asdnet:
+                    refined_labels, episode_value = self._run_episode(preprocessed)
+                    self._report.episode_returns.append(episode_value)
+                else:
+                    refined_labels = self._training_labels(preprocessed)
+                loss = self._rsrnet.train_step(
+                    preprocessed.tokens,
+                    preprocessed.normal_route_features,
+                    refined_labels,
+                )
+                self._report.joint_losses.append(loss)
+
+    # ----------------------------------------------------------------- misc
+    @property
+    def report(self) -> TrainingReport:
+        return self._report
+
+    def model(self) -> RL4OASDModel:
+        """The trained model (raises if :meth:`train` has not run yet)."""
+        if not self._trained:
+            raise NotFittedError("RL4OASD")
+        return RL4OASDModel(
+            rsrnet=self._rsrnet,
+            asdnet=self._asdnet,
+            pipeline=self._pipeline,
+            training_config=self._training_config,
+            report=self._report,
+        )

@@ -1,0 +1,168 @@
+"""RSRNet — the Road Segment Representation Network (Section IV-C).
+
+For every road segment of a trajectory RSRNet produces a representation
+
+``z_i = [h_i ; x^n_i]``
+
+where ``h_i`` is the hidden state of an LSTM running over the trajectory's
+traffic-context-feature (TCF) embeddings and ``x^n_i`` is the embedded normal
+route feature (NRF). A linear classifier over ``z_i`` predicts the segment's
+normal/anomalous label and is trained with cross-entropy against noisy labels
+(pre-training) or the labels refined by ASDNet (joint training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import RSRNetConfig
+from ..exceptions import ModelError
+from ..nn.layers import Embedding, Linear
+from ..nn.losses import cross_entropy_from_logits, softmax
+from ..nn.module import Module
+from ..nn.optim import Adam, clip_gradients
+from ..nn.recurrent import LSTM
+
+
+@dataclass
+class RSRNetStepState:
+    """Recurrent state carried across segments during online (incremental) use."""
+
+    hidden: np.ndarray
+    cell: np.ndarray
+
+
+class RSRNet(Module):
+    """The Road Segment Representation Network."""
+
+    NUM_CLASSES = 2
+
+    def __init__(
+        self,
+        vocabulary_size: int,
+        config: Optional[RSRNetConfig] = None,
+        pretrained_embeddings: Optional[np.ndarray] = None,
+    ):
+        super().__init__()
+        self._config = (config or RSRNetConfig()).validate()
+        config = self._config
+        if vocabulary_size < 1:
+            raise ModelError("vocabulary_size must be positive")
+        rng = np.random.default_rng(config.seed)
+        if pretrained_embeddings is not None:
+            pretrained_embeddings = np.asarray(pretrained_embeddings, dtype=np.float64)
+            if pretrained_embeddings.shape != (vocabulary_size, config.embedding_dim):
+                raise ModelError(
+                    "pretrained embeddings must have shape "
+                    f"({vocabulary_size}, {config.embedding_dim})")
+        self.segment_embedding = Embedding(
+            vocabulary_size, config.embedding_dim, rng, initial=pretrained_embeddings)
+        self.nrf_embedding = Embedding(2, config.nrf_dim, rng)
+        self.lstm = LSTM(config.embedding_dim, config.hidden_dim, rng)
+        self.classifier = Linear(config.hidden_dim + config.nrf_dim,
+                                 self.NUM_CLASSES, rng)
+        self._optimizer = Adam(self.parameters(), learning_rate=config.learning_rate)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def config(self) -> RSRNetConfig:
+        return self._config
+
+    @property
+    def representation_dim(self) -> int:
+        """Dimension of the per-segment representation ``z_i``."""
+        return self._config.hidden_dim + self._config.nrf_dim
+
+    # --------------------------------------------------------------- forward
+    def forward(
+        self, tokens: Sequence[int], nrf: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        """Whole-sequence forward pass.
+
+        Returns ``(z, logits, cache)`` where ``z`` has shape
+        ``(n, hidden_dim + nrf_dim)`` and ``logits`` has shape ``(n, 2)``.
+        """
+        if len(tokens) != len(nrf):
+            raise ModelError("tokens and normal route features must align")
+        if not tokens:
+            raise ModelError("cannot run RSRNet on an empty trajectory")
+        embedded, embed_cache = self.segment_embedding(list(tokens))
+        hidden, lstm_caches = self.lstm.forward(embedded)
+        nrf_embedded, nrf_cache = self.nrf_embedding(list(nrf))
+        z = np.concatenate([hidden, nrf_embedded], axis=1)
+        logits, classifier_cache = self.classifier(z)
+        cache = {
+            "embed_cache": embed_cache,
+            "lstm_caches": lstm_caches,
+            "nrf_cache": nrf_cache,
+            "classifier_cache": classifier_cache,
+            "z": z,
+        }
+        return z, logits, cache
+
+    def representations(self, tokens: Sequence[int], nrf: Sequence[int]) -> np.ndarray:
+        """The per-segment representations ``z_i`` only (no gradients kept)."""
+        z, _, _ = self.forward(tokens, nrf)
+        return z
+
+    def predict_proba(self, tokens: Sequence[int], nrf: Sequence[int]) -> np.ndarray:
+        """Per-segment probabilities of the anomalous class (shape ``(n,)``)."""
+        _, logits, _ = self.forward(tokens, nrf)
+        return softmax(logits, axis=1)[:, 1]
+
+    def loss(self, tokens: Sequence[int], nrf: Sequence[int],
+             labels: Sequence[int]) -> float:
+        """Cross-entropy loss of the classifier against ``labels`` (no update)."""
+        _, logits, _ = self.forward(tokens, nrf)
+        loss, _ = cross_entropy_from_logits(logits, list(labels))
+        return loss
+
+    # -------------------------------------------------------------- training
+    def train_step(self, tokens: Sequence[int], nrf: Sequence[int],
+                   labels: Sequence[int]) -> float:
+        """One gradient step against ``labels``; returns the loss value."""
+        if len(labels) != len(tokens):
+            raise ModelError("labels must align with tokens")
+        self.zero_grad()
+        _, logits, cache = self.forward(tokens, nrf)
+        loss, grad_logits = cross_entropy_from_logits(logits, list(labels))
+        grad_z = self.classifier.backward(grad_logits, cache["classifier_cache"])
+        hidden_dim = self._config.hidden_dim
+        grad_hidden = grad_z[:, :hidden_dim]
+        grad_nrf = grad_z[:, hidden_dim:]
+        self.nrf_embedding.backward(grad_nrf, cache["nrf_cache"])
+        grad_embedded = self.lstm.backward(grad_hidden, cache["lstm_caches"])
+        self.segment_embedding.backward(grad_embedded, cache["embed_cache"])
+        clip_gradients(self.parameters(), self._config.grad_clip)
+        self._optimizer.step()
+        return loss
+
+    # --------------------------------------------------------- online (step)
+    def begin_sequence(self) -> RSRNetStepState:
+        """Fresh recurrent state for incremental (online) processing."""
+        return RSRNetStepState(
+            hidden=np.zeros(self._config.hidden_dim),
+            cell=np.zeros(self._config.hidden_dim),
+        )
+
+    def step(self, state: RSRNetStepState, token: int, nrf: int
+             ) -> Tuple[np.ndarray, RSRNetStepState]:
+        """Process one newly generated road segment; returns ``(z_i, new_state)``.
+
+        This is the O(1)-per-point path used by the online detector.
+        """
+        if nrf not in (0, 1):
+            raise ModelError("normal route feature must be 0 or 1")
+        embedded = self.segment_embedding.vector(token)
+        hidden, cell, _ = self.lstm.cell.forward(embedded, state.hidden, state.cell)
+        nrf_vector = self.nrf_embedding.vector(nrf)
+        z = np.concatenate([hidden, nrf_vector])
+        return z, RSRNetStepState(hidden=hidden, cell=cell)
+
+    def classify_representation(self, z: np.ndarray) -> np.ndarray:
+        """Class probabilities for one representation vector ``z_i``."""
+        logits, _ = self.classifier(z)
+        return softmax(logits)

@@ -1,0 +1,38 @@
+"""Synthetic taxi-trajectory generation (substitute for the DiDi datasets).
+
+The paper evaluates on DiDi Chuxing GPS trajectories from Chengdu and Xi'an,
+which are not available offline. This package generates datasets with the same
+statistical structure the method consumes:
+
+* SD pairs with many trajectories each (the paper filters pairs with < 25),
+* a small number of *normal* routes per SD pair carrying the majority of the
+  traffic,
+* a small fraction of trajectories containing *detours* (anomalous
+  subtrajectories) with exact per-segment ground-truth labels,
+* time-of-day traffic regimes and optional *concept drift* where the popular
+  route of an SD pair changes between parts of the day,
+* raw GPS traces sampled every 2–4 s with Gaussian noise, so the map-matching
+  and preprocessing pipeline is exercised end to end.
+"""
+
+from .traffic import TrafficModel, DriftSchedule
+from .city import sample_sd_pairs
+from .routes import RoutePlanner, inject_detour
+from .generator import TrajectoryGenerator, sample_gps_trace
+from .dataset import DatasetStatistics, TrajectoryDataset
+from .presets import chengdu_like, xian_like, tiny_dataset
+
+__all__ = [
+    "TrafficModel",
+    "DriftSchedule",
+    "sample_sd_pairs",
+    "RoutePlanner",
+    "inject_detour",
+    "TrajectoryGenerator",
+    "sample_gps_trace",
+    "TrajectoryDataset",
+    "DatasetStatistics",
+    "chengdu_like",
+    "xian_like",
+    "tiny_dataset",
+]

@@ -1,0 +1,128 @@
+"""Traffic-context-enriched segment embeddings (the Toast substitute)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import EmbeddingConfig
+from ..exceptions import ModelError
+from ..roadnet.graph import RoadNetwork
+from .skipgram import SkipGramModel, train_skipgram
+from .walks import generate_random_walks
+
+
+def traffic_context_features(network: RoadNetwork,
+                             ordered_segments: Sequence[int]) -> np.ndarray:
+    """Per-segment traffic-context features, z-scored across the network.
+
+    Features: segment length, free-flow speed, free-flow travel time, road
+    type, in degree, out degree — the "driving speed, trip duration, road
+    type" context the paper lists for the TCF embeddings.
+    """
+    rows = []
+    for segment_id in ordered_segments:
+        segment = network.segment(segment_id)
+        rows.append([
+            segment.length_m,
+            segment.speed_limit_mps,
+            segment.travel_time_s,
+            float(segment.road_type),
+            float(network.in_degree(segment_id)),
+            float(network.out_degree(segment_id)),
+        ])
+    features = np.asarray(rows, dtype=np.float64)
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std == 0] = 1.0
+    return (features - mean) / std
+
+
+class ToastEmbedder:
+    """Pre-trains road-segment embeddings that fuse structure and traffic context.
+
+    The embedding of a segment is the concatenation of its skip-gram vector
+    (structure learned from random walks) and a linear projection of its
+    traffic-context features, truncated or padded to the requested dimension.
+    The output initialises RSRNet's embedding layer.
+    """
+
+    def __init__(self, network: RoadNetwork,
+                 config: Optional[EmbeddingConfig] = None):
+        self._network = network
+        self._config = (config or EmbeddingConfig()).validate()
+        self._model: Optional[SkipGramModel] = None
+        self._segment_ids: List[int] = network.segment_ids()
+        self._matrix: Optional[np.ndarray] = None
+
+    @property
+    def config(self) -> EmbeddingConfig:
+        return self._config
+
+    @property
+    def segment_ids(self) -> List[int]:
+        return list(self._segment_ids)
+
+    def fit(self) -> "ToastEmbedder":
+        """Train the embeddings (random walks → skip-gram → context fusion)."""
+        config = self._config
+        rng = np.random.default_rng(config.seed)
+        structural_dim = (config.dimension if not config.use_traffic_context
+                          else max(2, config.dimension - 8))
+        walks = generate_random_walks(
+            self._network,
+            walks_per_node=config.walks_per_node,
+            walk_length=config.walk_length,
+            rng=rng,
+        )
+        self._model = train_skipgram(
+            walks,
+            dimension=structural_dim,
+            window_size=config.window_size,
+            negative_samples=config.negative_samples,
+            epochs=config.epochs,
+            learning_rate=config.learning_rate,
+            rng=rng,
+        )
+        structural = self._model.embedding_matrix(self._segment_ids)
+        if config.use_traffic_context:
+            context = traffic_context_features(self._network, self._segment_ids)
+            projection = rng.normal(0.0, 0.3, size=(context.shape[1], 8))
+            context_part = context @ projection
+            matrix = np.concatenate([structural, context_part], axis=1)
+        else:
+            matrix = structural
+        # Pad or truncate to the exact requested dimension.
+        if matrix.shape[1] < config.dimension:
+            pad = np.zeros((matrix.shape[0], config.dimension - matrix.shape[1]))
+            matrix = np.concatenate([matrix, pad], axis=1)
+        elif matrix.shape[1] > config.dimension:
+            matrix = matrix[:, : config.dimension]
+        self._matrix = matrix
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._matrix is not None
+
+    def embedding_matrix(self) -> np.ndarray:
+        """The ``(num_segments, dimension)`` embedding table (fit first)."""
+        if self._matrix is None:
+            raise ModelError("ToastEmbedder.fit() must be called before use")
+        return self._matrix.copy()
+
+    def vector(self, segment_id: int) -> np.ndarray:
+        if self._matrix is None:
+            raise ModelError("ToastEmbedder.fit() must be called before use")
+        try:
+            index = self._segment_ids.index(segment_id)
+        except ValueError:
+            raise ModelError(f"segment {segment_id} not in the embedder") from None
+        return self._matrix[index]
+
+    def random_matrix(self, seed: int = 0) -> np.ndarray:
+        """A randomly initialised table of the same shape (ablation use)."""
+        rng = np.random.default_rng(seed)
+        return rng.normal(0.0, 0.1,
+                          size=(len(self._segment_ids), self._config.dimension))

@@ -1,0 +1,31 @@
+"""Length-group partitioning used by Table III and Figure 4."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..trajectory.models import MatchedTrajectory
+
+LENGTH_BOUNDARIES: Tuple[int, int, int] = (15, 30, 45)
+"""Default group boundaries of the paper: G1 < 15 <= G2 < 30 <= G3 < 45 <= G4."""
+
+
+def group_of(length: int, boundaries: Sequence[int] = LENGTH_BOUNDARIES) -> str:
+    """The group name (``"G1"``..``"Gk"``) of a trajectory length."""
+    for index, boundary in enumerate(boundaries):
+        if length < boundary:
+            return f"G{index + 1}"
+    return f"G{len(boundaries) + 1}"
+
+
+def group_by_length(
+    trajectories: Sequence[MatchedTrajectory],
+    boundaries: Sequence[int] = LENGTH_BOUNDARIES,
+) -> Dict[str, List[MatchedTrajectory]]:
+    """Partition trajectories into length groups (all groups always present)."""
+    groups: Dict[str, List[MatchedTrajectory]] = {
+        f"G{i + 1}": [] for i in range(len(boundaries) + 1)
+    }
+    for trajectory in trajectories:
+        groups[group_of(len(trajectory), boundaries)].append(trajectory)
+    return groups

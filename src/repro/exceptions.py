@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so applications can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class RoadNetworkError(ReproError):
+    """Raised for invalid road-network construction or queries."""
+
+
+class SegmentNotFoundError(RoadNetworkError):
+    """Raised when a road segment id is not present in the network."""
+
+    def __init__(self, segment_id: int):
+        super().__init__(f"road segment {segment_id!r} is not in the network")
+        self.segment_id = segment_id
+
+
+class IntersectionNotFoundError(RoadNetworkError):
+    """Raised when an intersection id is not present in the network."""
+
+    def __init__(self, node_id: int):
+        super().__init__(f"intersection {node_id!r} is not in the network")
+        self.node_id = node_id
+
+
+class DisconnectedRouteError(RoadNetworkError):
+    """Raised when no route exists between two segments or intersections."""
+
+
+class TrajectoryError(ReproError):
+    """Raised for invalid trajectory construction or operations."""
+
+
+class EmptyTrajectoryError(TrajectoryError):
+    """Raised when an operation requires a non-empty trajectory."""
+
+
+class MapMatchingError(ReproError):
+    """Raised when map matching fails to produce a path."""
+
+
+class DataGenerationError(ReproError):
+    """Raised for inconsistent synthetic data generation requests."""
+
+
+class LabelingError(ReproError):
+    """Raised for failures while building noisy labels or route features."""
+
+
+class ModelError(ReproError):
+    """Raised for neural-network / detector configuration problems."""
+
+
+class NotFittedError(ModelError):
+    """Raised when a model is used for inference before being trained."""
+
+    def __init__(self, what: str = "model"):
+        super().__init__(
+            f"{what} has not been fitted yet; call its training entry point first"
+        )
+
+
+class EvaluationError(ReproError):
+    """Raised for malformed evaluation inputs (e.g. mismatched lengths)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration value is out of its valid range."""

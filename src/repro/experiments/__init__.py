@@ -1,0 +1,34 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning a structured result and a
+``format_*`` helper producing the printable table. The benchmark suite under
+``benchmarks/`` is a thin wrapper around these functions, and the examples
+call into them as well.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  =========================================  =======================
+Artefact  Contents                                    Module
+========  =========================================  =======================
+Table II  dataset statistics                          :mod:`.table2`
+Table III effectiveness vs the 7 baselines            :mod:`.table3`
+Table IV  ablation study                              :mod:`.table4`
+Table V   preprocessing & training time vs data size  :mod:`.table5`
+Table VI  cold-start (drop rate) study                :mod:`.table6`
+Figure 3  per-point online detection latency          :mod:`.fig3`
+Figure 4  per-trajectory latency by length group      :mod:`.fig4`
+Figure 5  detour case study                           :mod:`.fig5`
+Figure 6  concept drift (vary xi, P1 vs FT)           :mod:`.fig6`
+Figure 7  concept-drift case study                    :mod:`.fig7`
+(TR)      parameter study for alpha, delta, D         :mod:`.param_study`
+========  =========================================  =======================
+"""
+
+from .common import ExperimentSettings, prepare_city, train_rl4oasd, build_baselines
+
+__all__ = [
+    "ExperimentSettings",
+    "prepare_city",
+    "train_rl4oasd",
+    "build_baselines",
+]

@@ -1,0 +1,240 @@
+"""Shared plumbing of the experiment harnesses.
+
+The settings below are the scaled-down analogue of the paper's setup: the same
+architecture and thresholds relative to the data, but smaller networks and
+training schedules so every experiment runs in seconds-to-minutes on a laptop
+instead of hours on a GPU server. The ``alpha``/``delta`` values are tuned for
+the synthetic datasets by the parameter study (:mod:`.param_study`), exactly
+as the paper tunes them for DiDi data (their best values were 0.5 / 0.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import (
+    ASDNetConfig,
+    LabelingConfig,
+    RSRNetConfig,
+    TrainingConfig,
+)
+from ..core import RL4OASDModel, RL4OASDTrainer
+from ..datagen import DriftSchedule, TrajectoryDataset, chengdu_like, xian_like
+from ..exceptions import ReproError
+from ..labeling import PreprocessingPipeline
+from ..trajectory.models import MatchedTrajectory
+from ..baselines import (
+    CTSSScorer,
+    DBTODScorer,
+    GMVSAEScorer,
+    IBOATDetector,
+    SAEScorer,
+    SDVSAEScorer,
+    ThresholdedDetector,
+    TransitionFrequencyScorer,
+    VSAEScorer,
+)
+from ..baselines.vsae import AutoencoderConfig, train_autoencoder
+
+
+@dataclass
+class ExperimentSettings:
+    """Knobs shared by all experiments."""
+
+    scale: float = 0.35
+    seed: int = 7
+    dev_size: int = 100
+    alpha: float = 0.35
+    delta: float = 0.25
+    embedding_dim: int = 64
+    hidden_dim: int = 64
+    nrf_dim: int = 32
+    label_embedding_dim: int = 32
+    asdnet_learning_rate: float = 0.01
+    pretrain_trajectories: int = 200
+    pretrain_epochs: int = 6
+    joint_trajectories: int = 300
+    joint_epochs: int = 2
+    validation_interval: int = 50
+    autoencoder_epochs: int = 1
+    autoencoder_max_trajectories: int = 300
+
+    def labeling_config(self, **overrides) -> LabelingConfig:
+        base = LabelingConfig(alpha=self.alpha, delta=self.delta)
+        return replace(base, **overrides) if overrides else base
+
+    def rsrnet_config(self) -> RSRNetConfig:
+        return RSRNetConfig(embedding_dim=self.embedding_dim,
+                            hidden_dim=self.hidden_dim,
+                            nrf_dim=self.nrf_dim,
+                            seed=self.seed + 1)
+
+    def asdnet_config(self) -> ASDNetConfig:
+        return ASDNetConfig(label_embedding_dim=self.label_embedding_dim,
+                            learning_rate=self.asdnet_learning_rate,
+                            seed=self.seed + 2)
+
+    def training_config(self, **overrides) -> TrainingConfig:
+        base = TrainingConfig(
+            pretrain_trajectories=self.pretrain_trajectories,
+            pretrain_epochs=self.pretrain_epochs,
+            joint_trajectories=self.joint_trajectories,
+            joint_epochs=self.joint_epochs,
+            validation_interval=self.validation_interval,
+            seed=self.seed + 3,
+        )
+        return replace(base, **overrides) if overrides else base
+
+
+@dataclass
+class CitySplit:
+    """A generated city dataset split into train / development / test sets."""
+
+    dataset: TrajectoryDataset
+    train: List[MatchedTrajectory]
+    development: List[MatchedTrajectory]
+    test: List[MatchedTrajectory]
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+
+def prepare_city(
+    city: str = "chengdu",
+    settings: Optional[ExperimentSettings] = None,
+    drift: Optional[DriftSchedule] = None,
+    include_raw: bool = False,
+) -> CitySplit:
+    """Generate a city dataset and split it into train / dev / test."""
+    settings = settings or ExperimentSettings()
+    if city.lower().startswith("chengdu"):
+        dataset = chengdu_like(scale=settings.scale, seed=100 + settings.seed,
+                               include_raw=include_raw, drift=drift)
+    elif city.lower().startswith("xian") or city.lower().startswith("xi'an"):
+        dataset = xian_like(scale=settings.scale, seed=200 + settings.seed,
+                            include_raw=include_raw, drift=drift)
+    else:
+        raise ReproError(f"unknown city {city!r}; use 'chengdu' or 'xian'")
+    train_size = int(len(dataset) * 0.75)
+    train, rest = dataset.train_test_split(train_size=train_size,
+                                           seed=settings.seed)
+    development = rest[: settings.dev_size]
+    test = rest[settings.dev_size:]
+    if not test:
+        development = rest[: len(rest) // 2]
+        test = rest[len(rest) // 2:]
+    return CitySplit(dataset=dataset, train=train,
+                     development=development, test=test)
+
+
+def build_pipeline(split: CitySplit,
+                   settings: Optional[ExperimentSettings] = None,
+                   **labeling_overrides) -> PreprocessingPipeline:
+    """The preprocessing pipeline over a split's training history."""
+    settings = settings or ExperimentSettings()
+    return PreprocessingPipeline(
+        split.dataset.network, split.train,
+        settings.labeling_config(**labeling_overrides))
+
+
+def train_rl4oasd(
+    split: CitySplit,
+    settings: Optional[ExperimentSettings] = None,
+    training_overrides: Optional[dict] = None,
+    labeling_overrides: Optional[dict] = None,
+    pretrained_embeddings: Optional[np.ndarray] = None,
+) -> Tuple[RL4OASDModel, RL4OASDTrainer]:
+    """Train RL4OASD on a city split with the experiment settings."""
+    settings = settings or ExperimentSettings()
+    trainer = RL4OASDTrainer(
+        network=split.dataset.network,
+        historical=split.train,
+        labeling_config=settings.labeling_config(**(labeling_overrides or {})),
+        rsrnet_config=settings.rsrnet_config(),
+        asdnet_config=settings.asdnet_config(),
+        training_config=settings.training_config(**(training_overrides or {})),
+        pretrained_embeddings=pretrained_embeddings,
+        development_set=split.development,
+    )
+    model = trainer.train()
+    return model, trainer
+
+
+def build_baselines(
+    split: CitySplit,
+    pipeline: PreprocessingPipeline,
+    settings: Optional[ExperimentSettings] = None,
+    include: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Build and tune every baseline detector of Table III.
+
+    Returns a mapping from the paper's baseline names to detectors exposing
+    ``detect(trajectory)``. ``include`` restricts the set (useful for the
+    timing figures where only a subset matters).
+    """
+    settings = settings or ExperimentSettings()
+    wanted = set(include) if include else None
+
+    def _wanted(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    detectors: Dict[str, object] = {}
+    if _wanted("IBOAT"):
+        detectors["IBOAT"] = IBOATDetector(pipeline)
+    if _wanted("DBTOD"):
+        detectors["DBTOD"] = ThresholdedDetector(
+            DBTODScorer(split.dataset.network, split.train)).tune(split.development)
+    if _wanted("CTSS"):
+        detectors["CTSS"] = ThresholdedDetector(
+            CTSSScorer(pipeline)).tune(split.development)
+
+    autoencoder_names = {"GM-VSAE", "SD-VSAE", "SAE", "VSAE"}
+    if wanted is None or (wanted & autoencoder_names):
+        autoencoder = train_autoencoder(
+            pipeline.vocabulary, split.train,
+            AutoencoderConfig(epochs=settings.autoencoder_epochs,
+                              seed=settings.seed + 11),
+            max_trajectories=settings.autoencoder_max_trajectories,
+        )
+        scorers = {
+            "GM-VSAE": GMVSAEScorer(autoencoder, pipeline.vocabulary),
+            "SD-VSAE": SDVSAEScorer(autoencoder, pipeline.vocabulary),
+            "SAE": SAEScorer(autoencoder, pipeline.vocabulary),
+            "VSAE": VSAEScorer(autoencoder, pipeline.vocabulary),
+        }
+        for name, scorer in scorers.items():
+            if _wanted(name):
+                detectors[name] = ThresholdedDetector(scorer).tune(split.development)
+    if _wanted("TransitionFrequency"):
+        detectors["TransitionFrequency"] = ThresholdedDetector(
+            TransitionFrequencyScorer(pipeline)).tune(split.development)
+    return detectors
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple aligned text table (used by every experiment printout)."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[column])),
+            max((len(row[column]) for row in formatted_rows), default=0))
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,68 @@
+"""Figure 3 — overall online detection efficiency (average runtime per point)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..eval import TimingReport, measure_detector
+from .common import (
+    ExperimentSettings,
+    build_baselines,
+    build_pipeline,
+    format_table,
+    prepare_city,
+    train_rl4oasd,
+)
+
+FIG3_DETECTORS = ("IBOAT", "DBTOD", "GM-VSAE", "SD-VSAE", "SAE", "VSAE",
+                  "CTSS", "RL4OASD")
+
+
+@dataclass
+class Fig3Result:
+    per_point_ms: Dict[str, Dict[str, float]]
+
+    def format(self) -> str:
+        cities = list(self.per_point_ms)
+        headers = ["Method"] + [f"{city} (ms/point)" for city in cities]
+        methods = list(self.per_point_ms[cities[0]])
+        rows: List[List[object]] = []
+        for method in methods:
+            rows.append([method] + [self.per_point_ms[city][method]
+                                    for city in cities])
+        return format_table(headers, rows,
+                            title="Figure 3 — average runtime per point")
+
+
+def run_fig3(
+    settings: Optional[ExperimentSettings] = None,
+    cities: Sequence[str] = ("chengdu", "xian"),
+    detectors: Sequence[str] = FIG3_DETECTORS,
+    max_trajectories: int = 60,
+) -> Fig3Result:
+    """Measure the per-point latency of every detector on both cities."""
+    settings = settings or ExperimentSettings()
+    per_point: Dict[str, Dict[str, float]] = {}
+    for city in cities:
+        split = prepare_city(city, settings)
+        pipeline = build_pipeline(split, settings)
+        built = build_baselines(
+            split, pipeline, settings,
+            include=[name for name in detectors if name != "RL4OASD"])
+        if "RL4OASD" in detectors:
+            model, _ = train_rl4oasd(split, settings)
+            built["RL4OASD"] = model.detector()
+        workload = split.test[:max_trajectories]
+        city_results: Dict[str, float] = {}
+        for name in detectors:
+            if name not in built:
+                continue
+            report = measure_detector(built[name], workload, name=name)
+            city_results[name] = report.mean_per_point_ms
+        per_point[split.dataset.name] = city_results
+    return Fig3Result(per_point_ms=per_point)
+
+
+if __name__ == "__main__":
+    print(run_fig3().format())

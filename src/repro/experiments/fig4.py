@@ -1,0 +1,74 @@
+"""Figure 4 — detection scalability (average runtime per trajectory by length group)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..eval import group_by_length, measure_detector
+from .common import (
+    ExperimentSettings,
+    build_baselines,
+    build_pipeline,
+    format_table,
+    prepare_city,
+    train_rl4oasd,
+)
+from .fig3 import FIG3_DETECTORS
+
+
+@dataclass
+class Fig4Result:
+    per_trajectory_ms: Dict[str, Dict[str, Dict[str, float]]]
+
+    def format(self) -> str:
+        blocks = []
+        for city, by_method in self.per_trajectory_ms.items():
+            groups = sorted({g for values in by_method.values() for g in values})
+            headers = ["Method"] + [f"{g} (ms/traj)" for g in groups]
+            rows: List[List[object]] = []
+            for method, values in by_method.items():
+                rows.append([method] + [values.get(g, float("nan")) for g in groups])
+            blocks.append(format_table(
+                headers, rows,
+                title=f"Figure 4 — runtime per trajectory by length group ({city})"))
+        return "\n\n".join(blocks)
+
+
+def run_fig4(
+    settings: Optional[ExperimentSettings] = None,
+    cities: Sequence[str] = ("chengdu",),
+    detectors: Sequence[str] = FIG3_DETECTORS,
+    max_per_group: int = 25,
+) -> Fig4Result:
+    """Measure per-trajectory latency for every length group."""
+    settings = settings or ExperimentSettings()
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for city in cities:
+        split = prepare_city(city, settings)
+        pipeline = build_pipeline(split, settings)
+        built = build_baselines(
+            split, pipeline, settings,
+            include=[name for name in detectors if name != "RL4OASD"])
+        if "RL4OASD" in detectors:
+            model, _ = train_rl4oasd(split, settings)
+            built["RL4OASD"] = model.detector()
+        groups = group_by_length(split.test)
+        by_method: Dict[str, Dict[str, float]] = {}
+        for name in detectors:
+            if name not in built:
+                continue
+            by_group: Dict[str, float] = {}
+            for group, members in groups.items():
+                if not members:
+                    continue
+                report = measure_detector(built[name], members[:max_per_group],
+                                          name=name)
+                by_group[group] = report.mean_per_trajectory_ms
+            by_method[name] = by_group
+        results[split.dataset.name] = by_method
+    return Fig4Result(per_trajectory_ms=results)
+
+
+if __name__ == "__main__":
+    print(run_fig4().format())

@@ -1,0 +1,158 @@
+"""Figure 6 — detection under varying traffic conditions (concept drift).
+
+Two sub-experiments, following Section V-G:
+
+* vary the number of day partitions ``xi`` and report the average F1 of the
+  fine-tuned model (RL4OASD-FT) together with the average per-part training
+  time (Figures 6a/6b);
+* fix ``xi`` and compare RL4OASD-P1 (trained on Part 1 only) against
+  RL4OASD-FT (fine-tuned part by part) on every part (Figures 6c/6d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import OnlineLearner, RL4OASDTrainer
+from ..datagen import DriftSchedule
+from ..eval import evaluate_detector
+from .common import CitySplit, ExperimentSettings, format_table, prepare_city
+
+
+@dataclass
+class DriftPartResult:
+    part: int
+    f1_p1: float
+    f1_ft: float
+    fine_tune_seconds: float
+
+
+@dataclass
+class Fig6Result:
+    f1_by_xi: Dict[int, float]
+    training_time_by_xi: Dict[int, float]
+    parts: List[DriftPartResult]
+    xi_for_parts: int
+
+    def format(self) -> str:
+        xi_rows = [["Average F1 (FT)"] + [self.f1_by_xi[x] for x in self.f1_by_xi]]
+        time_rows = [["Avg fine-tune time (s)"]
+                     + [self.training_time_by_xi[x] for x in self.training_time_by_xi]]
+        headers = ["xi"] + [str(x) for x in self.f1_by_xi]
+        block_a = format_table(headers, xi_rows,
+                               title="Figure 6a — F1 varying xi")
+        block_b = format_table(headers, time_rows,
+                               title="Figure 6b — training time varying xi")
+        part_rows = [[f"Part {p.part + 1}", p.f1_p1, p.f1_ft, p.fine_tune_seconds]
+                     for p in self.parts]
+        block_c = format_table(
+            ["Part", "RL4OASD-P1 F1", "RL4OASD-FT F1", "FT time (s)"],
+            part_rows,
+            title=f"Figure 6c/6d — per-part comparison (xi={self.xi_for_parts})")
+        return "\n\n".join([block_a, block_b, block_c])
+
+
+def _split_by_part(split: CitySplit, n_parts: int):
+    """Partition a split's trajectories by the part of day they start in."""
+    def part_of(trajectory):
+        return min(int((trajectory.start_time_s % 86400)
+                       / (86400 / n_parts)), n_parts - 1)
+
+    train_parts = [[] for _ in range(n_parts)]
+    test_parts = [[] for _ in range(n_parts)]
+    for trajectory in split.train:
+        train_parts[part_of(trajectory)].append(trajectory)
+    for trajectory in split.test + split.development:
+        test_parts[part_of(trajectory)].append(trajectory)
+    return train_parts, test_parts
+
+
+def _train_on_part(split: CitySplit, train_part, settings: ExperimentSettings):
+    """An RL4OASD trainer whose history is only one part of the day."""
+    trainer = RL4OASDTrainer(
+        network=split.dataset.network,
+        historical=train_part,
+        labeling_config=settings.labeling_config(),
+        rsrnet_config=settings.rsrnet_config(),
+        asdnet_config=settings.asdnet_config(),
+        training_config=settings.training_config(
+            pretrain_trajectories=min(settings.pretrain_trajectories,
+                                      len(train_part)),
+            joint_trajectories=min(settings.joint_trajectories, len(train_part)),
+        ),
+        development_set=split.development,
+    )
+    return trainer
+
+
+def run_fig6(
+    settings: Optional[ExperimentSettings] = None,
+    city: str = "chengdu",
+    xi_values: Sequence[int] = (1, 2, 4, 8),
+    xi_for_parts: int = 4,
+    fine_tune_epochs: int = 1,
+) -> Fig6Result:
+    """Run both concept-drift sub-experiments."""
+    settings = settings or ExperimentSettings()
+
+    f1_by_xi: Dict[int, float] = {}
+    time_by_xi: Dict[int, float] = {}
+    parts_result: List[DriftPartResult] = []
+
+    for xi in xi_values:
+        drift = DriftSchedule(n_parts=max(2, xi), rotation_per_part=1,
+                              drifting_pair_fraction=0.6)
+        split = prepare_city(city, settings, drift=drift)
+        train_parts, test_parts = _split_by_part(split, xi)
+        if any(len(part) == 0 for part in train_parts):
+            continue
+        trainer = _train_on_part(split, train_parts[0], settings)
+        learner = OnlineLearner(trainer, fine_tune_epochs=fine_tune_epochs)
+        learner.initial_fit()
+
+        f1_scores: List[float] = []
+        times: List[float] = []
+        for part in range(xi):
+            if part > 0:
+                record = learner.observe_part(part, train_parts[part])
+                times.append(record.seconds)
+            if test_parts[part]:
+                run = evaluate_detector(learner.detector(), test_parts[part],
+                                        name="RL4OASD-FT")
+                f1_scores.append(run.overall.f1)
+        f1_by_xi[xi] = float(np.mean(f1_scores)) if f1_scores else float("nan")
+        time_by_xi[xi] = float(np.mean(times)) if times else 0.0
+
+        if xi == xi_for_parts:
+            # Re-run part by part, also scoring the frozen Part-1 model.
+            frozen_trainer = _train_on_part(split, train_parts[0], settings)
+            frozen_model = frozen_trainer.train()
+            frozen_detector = frozen_model.detector()
+
+            ft_trainer = _train_on_part(split, train_parts[0], settings)
+            ft_learner = OnlineLearner(ft_trainer, fine_tune_epochs=fine_tune_epochs)
+            ft_learner.initial_fit()
+            for part in range(xi):
+                seconds = 0.0
+                if part > 0:
+                    record = ft_learner.observe_part(part, train_parts[part])
+                    seconds = record.seconds
+                if not test_parts[part]:
+                    continue
+                run_p1 = evaluate_detector(frozen_detector, test_parts[part],
+                                           name="RL4OASD-P1")
+                run_ft = evaluate_detector(ft_learner.detector(), test_parts[part],
+                                           name="RL4OASD-FT")
+                parts_result.append(DriftPartResult(
+                    part=part, f1_p1=run_p1.overall.f1, f1_ft=run_ft.overall.f1,
+                    fine_tune_seconds=seconds))
+
+    return Fig6Result(f1_by_xi=f1_by_xi, training_time_by_xi=time_by_xi,
+                      parts=parts_result, xi_for_parts=xi_for_parts)
+
+
+if __name__ == "__main__":
+    print(run_fig6().format())

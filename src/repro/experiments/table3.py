@@ -1,0 +1,84 @@
+"""Table III — effectiveness comparison with the existing baselines.
+
+For each city the harness trains RL4OASD, builds and tunes every baseline on
+the development set, and reports F1 / TF1 per trajectory-length group (G1–G4)
+and overall — the same layout as Table III of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..eval import EvaluationRun, evaluate_detector
+from .common import (
+    ExperimentSettings,
+    build_baselines,
+    build_pipeline,
+    format_table,
+    prepare_city,
+    train_rl4oasd,
+)
+
+#: Baselines reported in Table III, in the paper's order.
+TABLE3_BASELINES = ("IBOAT", "DBTOD", "GM-VSAE", "SD-VSAE", "SAE", "VSAE", "CTSS")
+
+
+@dataclass
+class Table3Result:
+    runs: Dict[str, Dict[str, EvaluationRun]]
+
+    def format(self) -> str:
+        blocks = []
+        for city, runs in self.runs.items():
+            groups = sorted({g for run in runs.values() for g in run.by_group})
+            headers = ["Method"] + [f"{g} F1" for g in groups] + [
+                f"{g} TF1" for g in groups] + ["Overall F1", "Overall TF1"]
+            rows: List[List[object]] = []
+            for name, run in runs.items():
+                row: List[object] = [name]
+                row += [run.by_group[g].f1 if g in run.by_group else float("nan")
+                        for g in groups]
+                row += [run.by_group[g].t_f1 if g in run.by_group else float("nan")
+                        for g in groups]
+                row += [run.overall.f1, run.overall.t_f1]
+                rows.append(row)
+            blocks.append(format_table(
+                headers, rows,
+                title=f"Table III — effectiveness on {city}"))
+        return "\n\n".join(blocks)
+
+    def best_baseline_f1(self, city: str) -> float:
+        return max(run.overall.f1 for name, run in self.runs[city].items()
+                   if name != "RL4OASD")
+
+    def rl4oasd_f1(self, city: str) -> float:
+        return self.runs[city]["RL4OASD"].overall.f1
+
+
+def run_table3(
+    settings: Optional[ExperimentSettings] = None,
+    cities: Sequence[str] = ("chengdu", "xian"),
+    baselines: Sequence[str] = TABLE3_BASELINES,
+) -> Table3Result:
+    """Run the full effectiveness comparison."""
+    settings = settings or ExperimentSettings()
+    runs: Dict[str, Dict[str, EvaluationRun]] = {}
+    for city in cities:
+        split = prepare_city(city, settings)
+        pipeline = build_pipeline(split, settings)
+        detectors = dict(build_baselines(split, pipeline, settings,
+                                         include=baselines))
+        model, _ = train_rl4oasd(split, settings)
+        detectors["RL4OASD"] = model.detector()
+        city_runs: Dict[str, EvaluationRun] = {}
+        ordered = [name for name in baselines if name in detectors] + ["RL4OASD"]
+        for name in ordered:
+            city_runs[name] = evaluate_detector(detectors[name], split.test,
+                                                name=name)
+        runs[split.dataset.name] = city_runs
+    return Table3Result(runs=runs)
+
+
+if __name__ == "__main__":
+    print(run_table3().format())

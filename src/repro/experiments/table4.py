@@ -1,0 +1,83 @@
+"""Table IV — ablation study of RL4OASD's components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..eval import evaluate_detector
+from ..baselines import ThresholdedDetector, TransitionFrequencyScorer
+from .common import (
+    ExperimentSettings,
+    build_pipeline,
+    format_table,
+    prepare_city,
+    train_rl4oasd,
+)
+
+#: Ablation rows of Table IV mapped to the trainer's switches.
+ABLATIONS: Dict[str, dict] = {
+    "RL4OASD": {},
+    "w/o noisy labels": {"use_noisy_labels": False},
+    "w/o road segment embeddings": {"use_pretrained_embeddings": False},
+    "w/o RNEL": {"use_rnel": False},
+    "w/o DL": {"use_delayed_labeling": False},
+    "w/o local reward": {"use_local_reward": False},
+    "w/o global reward": {"use_global_reward": False},
+    "w/o ASDNet": {"use_asdnet": False},
+}
+
+
+@dataclass
+class Table4Result:
+    f1_by_variant: Dict[str, float]
+
+    def format(self) -> str:
+        rows: List[List[object]] = [
+            [name, value] for name, value in self.f1_by_variant.items()
+        ]
+        return format_table(["Effectiveness", "F1-score"], rows,
+                            title="Table IV — ablation study")
+
+
+def run_table4(settings: Optional[ExperimentSettings] = None,
+               city: str = "chengdu") -> Table4Result:
+    """Train every ablation variant and score it on the same test set."""
+    settings = settings or ExperimentSettings()
+    split = prepare_city(city, settings)
+    results: Dict[str, float] = {}
+
+    # Pre-trained road-segment embeddings for the full model; the
+    # "w/o road segment embeddings" row keeps random initialisation.
+    from ..embeddings import ToastEmbedder
+    from ..config import EmbeddingConfig
+
+    embedder = ToastEmbedder(
+        split.dataset.network,
+        EmbeddingConfig(dimension=settings.embedding_dim, walks_per_node=2,
+                        walk_length=12, epochs=1, seed=settings.seed),
+    ).fit()
+    embedding_matrix = embedder.embedding_matrix()
+
+    for variant, overrides in ABLATIONS.items():
+        embeddings = embedding_matrix
+        if not overrides.get("use_pretrained_embeddings", True):
+            embeddings = None
+        model, _ = train_rl4oasd(split, settings,
+                                 training_overrides=overrides,
+                                 pretrained_embeddings=embeddings)
+        run = evaluate_detector(model.detector(), split.test, name=variant)
+        results[variant] = run.overall.f1
+
+    # The "only transition frequency" row is the heuristic baseline.
+    pipeline = build_pipeline(split, settings)
+    frequency_only = ThresholdedDetector(
+        TransitionFrequencyScorer(pipeline)).tune(split.development)
+    run = evaluate_detector(frequency_only, split.test,
+                            name="only transition frequency")
+    results["only transition frequency"] = run.overall.f1
+    return Table4Result(f1_by_variant=results)
+
+
+if __name__ == "__main__":
+    print(run_table4().format())

@@ -1,0 +1,185 @@
+"""The preprocessing pipeline bundling vocabulary, noisy labels and NRFs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import LabelingConfig
+from ..exceptions import LabelingError
+from ..roadnet.graph import RoadNetwork
+from ..trajectory.models import MatchedTrajectory
+from ..trajectory.sdpairs import SDPairIndex, time_slot_of
+from .noisy import noisy_labels
+from .normal_routes import infer_normal_routes, normal_route_features
+from .transitions import TransitionStatistics
+
+
+class SegmentVocabulary:
+    """Maps road segment ids to contiguous token indices for embedding lookups."""
+
+    def __init__(self, segment_ids: Iterable[int]):
+        ordered = sorted(set(segment_ids))
+        if not ordered:
+            raise LabelingError("the segment vocabulary must not be empty")
+        self._segment_to_token: Dict[int, int] = {
+            segment: token for token, segment in enumerate(ordered)
+        }
+        self._token_to_segment: List[int] = ordered
+
+    @classmethod
+    def from_network(cls, network: RoadNetwork) -> "SegmentVocabulary":
+        return cls(network.segment_ids())
+
+    def __len__(self) -> int:
+        return len(self._token_to_segment)
+
+    def token(self, segment_id: int) -> int:
+        try:
+            return self._segment_to_token[segment_id]
+        except KeyError:
+            raise LabelingError(f"segment {segment_id} not in vocabulary") from None
+
+    def segment(self, token: int) -> int:
+        if not (0 <= token < len(self._token_to_segment)):
+            raise LabelingError(f"token {token} out of range")
+        return self._token_to_segment[token]
+
+    def tokens(self, segments: Sequence[int]) -> List[int]:
+        return [self.token(segment) for segment in segments]
+
+    def ordered_segments(self) -> List[int]:
+        return list(self._token_to_segment)
+
+
+@dataclass
+class PreprocessedTrajectory:
+    """Everything the networks need to know about one trajectory."""
+
+    trajectory: MatchedTrajectory
+    tokens: List[int]
+    noisy_labels: List[int]
+    normal_route_features: List[int]
+    transition_fractions: List[float]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+class PreprocessingPipeline:
+    """Computes noisy labels and normal route features against historical data.
+
+    The pipeline holds an :class:`SDPairIndex` of the historical (training)
+    trajectories; per SD-pair group it lazily builds and caches the transition
+    statistics and the inferred normal routes. Both the detector (online) and
+    the trainer reuse the same pipeline.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        historical: Sequence[MatchedTrajectory],
+        config: Optional[LabelingConfig] = None,
+    ):
+        self._config = (config or LabelingConfig()).validate()
+        self._network = network
+        self._vocabulary = SegmentVocabulary.from_network(network)
+        self._index = SDPairIndex(historical, self._config.time_slots_per_day)
+        self._statistics_cache: Dict[Tuple[int, int, int], TransitionStatistics] = {}
+        self._normal_routes_cache: Dict[Tuple[int, int, int], List[Tuple[int, ...]]] = {}
+
+    # ---------------------------------------------------------------- access
+    @property
+    def config(self) -> LabelingConfig:
+        return self._config
+
+    @property
+    def vocabulary(self) -> SegmentVocabulary:
+        return self._vocabulary
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def sd_index(self) -> SDPairIndex:
+        return self._index
+
+    # ------------------------------------------------------------- internals
+    def _group_key(self, trajectory: MatchedTrajectory) -> Tuple[int, int, int]:
+        slot = time_slot_of(trajectory.start_time_s, self._config.time_slots_per_day)
+        return trajectory.source, trajectory.destination, slot
+
+    def _group(self, trajectory: MatchedTrajectory) -> List[MatchedTrajectory]:
+        source, destination, slot = self._group_key(trajectory)
+        group = self._index.group(source, destination, slot)
+        if len(group) < self._config.min_slot_group_size:
+            # Sparse time slot: the per-hour statistics would be meaningless
+            # (a single historical trip would define "the" normal route), so
+            # fall back to the SD pair's full history across all time slots.
+            group = self._index.group(source, destination)
+        if not group:
+            # The trajectory's SD pair has no history at all: fall back to the
+            # trajectory itself so statistics are still defined (everything
+            # looks normal, which is the conservative choice).
+            group = [trajectory]
+        return group
+
+    def statistics_for(self, trajectory: MatchedTrajectory) -> TransitionStatistics:
+        """Transition statistics of the trajectory's SD-pair group (cached)."""
+        key = self._group_key(trajectory)
+        cached = self._statistics_cache.get(key)
+        if cached is None:
+            cached = TransitionStatistics.from_group(self._group(trajectory))
+            self._statistics_cache[key] = cached
+        return cached
+
+    def normal_routes_for(self, trajectory: MatchedTrajectory) -> List[Tuple[int, ...]]:
+        """Inferred normal routes of the trajectory's SD-pair group (cached)."""
+        key = self._group_key(trajectory)
+        cached = self._normal_routes_cache.get(key)
+        if cached is None:
+            cached = infer_normal_routes(self._group(trajectory), self._config.delta)
+            self._normal_routes_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------ public API
+    def preprocess(self, trajectory: MatchedTrajectory) -> PreprocessedTrajectory:
+        """Tokens, noisy labels, NRFs and fractions of one trajectory."""
+        statistics = self.statistics_for(trajectory)
+        normal_routes = self.normal_routes_for(trajectory)
+        return PreprocessedTrajectory(
+            trajectory=trajectory,
+            tokens=self._vocabulary.tokens(trajectory.segments),
+            noisy_labels=noisy_labels(trajectory.segments, statistics,
+                                      self._config.alpha),
+            normal_route_features=normal_route_features(
+                trajectory.segments, normal_routes),
+            transition_fractions=statistics.fraction_sequence(trajectory.segments),
+        )
+
+    def preprocess_many(
+        self, trajectories: Sequence[MatchedTrajectory]
+    ) -> List[PreprocessedTrajectory]:
+        return [self.preprocess(trajectory) for trajectory in trajectories]
+
+    def extend_history(self, trajectories: Sequence[MatchedTrajectory]) -> None:
+        """Add newly observed trajectories to the historical index.
+
+        Used by the online-learning strategy: when new data arrives, the
+        normal-route statistics shift with it (concept drift), so the caches
+        are invalidated and rebuilt lazily.
+        """
+        if not trajectories:
+            return
+        existing = [
+            trajectory
+            for group in self._index.groups().values()
+            for trajectory in group
+        ]
+        self._index = SDPairIndex(
+            existing + list(trajectories), self._config.time_slots_per_day)
+        self._statistics_cache.clear()
+        self._normal_routes_cache.clear()

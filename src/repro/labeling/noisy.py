@@ -1,0 +1,42 @@
+"""Noisy label construction (Step-4 of the preprocessing).
+
+A road segment is tentatively labeled normal (0) when the transition leading
+into it is travelled by more than a fraction ``alpha`` of the group's
+trajectories, and anomalous (1) otherwise. The source and destination segments
+are always labeled normal. These labels are noisy — they only warm-start
+RSRNet and the policy; ASDNet refines them during joint training.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..exceptions import LabelingError
+from ..trajectory.models import MatchedTrajectory
+from .transitions import TransitionStatistics
+
+
+def noisy_labels(
+    segments: Sequence[int],
+    statistics: TransitionStatistics,
+    alpha: float = 0.5,
+) -> List[int]:
+    """Per-segment noisy labels of a route under the group's transition statistics."""
+    if not (0.0 < alpha < 1.0):
+        raise LabelingError("alpha must be in (0, 1)")
+    if not segments:
+        raise LabelingError("segments must not be empty")
+    fractions = statistics.fraction_sequence(segments)
+    labels = [0 if fraction > alpha else 1 for fraction in fractions]
+    labels[0] = 0
+    labels[-1] = 0
+    return labels
+
+
+def noisy_labels_for(
+    trajectory: MatchedTrajectory,
+    statistics: TransitionStatistics,
+    alpha: float = 0.5,
+) -> List[int]:
+    """Convenience wrapper taking a :class:`MatchedTrajectory`."""
+    return noisy_labels(trajectory.segments, statistics, alpha)

@@ -1,0 +1,87 @@
+"""Normal route inference and normal route features (NRF)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Set, Tuple
+
+from ..exceptions import LabelingError
+from ..trajectory.models import MatchedTrajectory
+from ..trajectory.ops import SOURCE_PAD, transitions_of
+
+
+def infer_normal_routes(
+    group: Sequence[MatchedTrajectory],
+    delta: float = 0.4,
+) -> List[Tuple[int, ...]]:
+    """Routes travelled by more than a fraction ``delta`` of the group.
+
+    If no route clears the threshold (which can happen in very fragmented
+    groups) the single most popular route is returned, so downstream features
+    are always defined.
+    """
+    if not group:
+        raise LabelingError("cannot infer normal routes of an empty group")
+    if not (0.0 < delta < 1.0):
+        raise LabelingError("delta must be in (0, 1)")
+    route_counts: Counter = Counter(trajectory.route_key() for trajectory in group)
+    total = len(group)
+    normal = [route for route, count in route_counts.items()
+              if count / total > delta]
+    if not normal:
+        normal = [route_counts.most_common(1)[0][0]]
+    return sorted(normal, key=lambda route: -route_counts[route])
+
+
+def _normal_transitions(normal_routes: Sequence[Sequence[int]]) -> Set[Tuple[int, int]]:
+    transitions: Set[Tuple[int, int]] = set()
+    for route in normal_routes:
+        transitions.update(transitions_of(list(route)))
+    return transitions
+
+
+def normal_route_feature_step(
+    previous_segment: int,
+    current_segment: int,
+    normal_routes: Sequence[Sequence[int]],
+    is_source: bool = False,
+    is_destination: bool = False,
+) -> int:
+    """The NRF of a single newly observed segment (online variant).
+
+    ``previous_segment`` is ignored when ``is_source`` is true (the padded
+    transition ``<*, e1>`` is always normal); the destination is normal by
+    definition as well.
+    """
+    if is_source or is_destination:
+        return 0
+    allowed = _normal_transitions(normal_routes)
+    return 0 if (previous_segment, current_segment) in allowed else 1
+
+
+def normal_route_features(
+    segments: Sequence[int],
+    normal_routes: Sequence[Sequence[int]],
+) -> List[int]:
+    """The normal route feature (NRF) of each segment of a route.
+
+    A segment's feature is 0 (normal) when the transition leading into it
+    occurs on one of the inferred normal routes, and 1 otherwise. The source
+    and destination segments always get feature 0.
+    """
+    if not segments:
+        raise LabelingError("segments must not be empty")
+    if not normal_routes:
+        raise LabelingError("at least one normal route is required")
+    allowed = _normal_transitions(normal_routes)
+    features = []
+    for index, transition in enumerate(transitions_of(segments)):
+        previous, _ = transition
+        if previous == SOURCE_PAD:
+            features.append(0)
+        elif transition in allowed:
+            features.append(0)
+        else:
+            features.append(1)
+    features[-1] = 0
+    return features

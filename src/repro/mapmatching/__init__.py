@@ -1,0 +1,20 @@
+"""HMM map matching: raw GPS trajectories → sequences of road segments.
+
+The paper preprocesses raw DiDi trajectories with Fast Map Matching (FMM,
+Yang & Gidofalvi 2018), a hidden-Markov-model matcher. This package implements
+the same family of algorithm in Python: candidate segments come from a spatial
+index, emissions follow a Gaussian model of GPS error, transitions penalise
+the difference between great-circle and network distances, and Viterbi picks
+the most probable segment sequence.
+"""
+
+from .emission import gaussian_emission_log_prob
+from .transition import transition_log_prob
+from .hmm import HMMMapMatcher, MatchResult
+
+__all__ = [
+    "HMMMapMatcher",
+    "MatchResult",
+    "gaussian_emission_log_prob",
+    "transition_log_prob",
+]

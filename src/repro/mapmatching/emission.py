@@ -1,0 +1,24 @@
+"""Emission model of the HMM map matcher.
+
+GPS error is modelled as zero-mean Gaussian noise, so the probability of
+observing a fix at perpendicular distance ``d`` from the true road segment is
+proportional to ``exp(-0.5 * (d / sigma)^2)`` (Newson & Krumm 2009).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import MapMatchingError
+
+_LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+
+
+def gaussian_emission_log_prob(distance_m: float, sigma_m: float) -> float:
+    """Log probability of a GPS fix given its distance to a candidate segment."""
+    if sigma_m <= 0:
+        raise MapMatchingError("sigma_m must be positive")
+    if distance_m < 0:
+        raise MapMatchingError("distance_m must be non-negative")
+    z = distance_m / sigma_m
+    return -0.5 * z * z - math.log(sigma_m) - _LOG_SQRT_2PI

@@ -1,0 +1,224 @@
+"""The HMM (Viterbi) map matcher."""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import MapMatchingConfig
+from ..exceptions import DisconnectedRouteError, MapMatchingError
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.shortest_path import dijkstra_route
+from ..roadnet.spatial import SpatialIndex
+from ..trajectory.models import MatchedTrajectory, RawTrajectory
+from .emission import gaussian_emission_log_prob
+from .transition import transition_log_prob
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one raw trajectory.
+
+    ``matched`` is the matched trajectory (``None`` when matching failed),
+    ``log_likelihood`` the Viterbi score, and ``candidate_counts`` the number
+    of candidate segments considered per GPS point (useful for diagnostics).
+    """
+
+    matched: Optional[MatchedTrajectory]
+    log_likelihood: float
+    candidate_counts: List[int]
+
+    @property
+    def succeeded(self) -> bool:
+        return self.matched is not None
+
+
+class HMMMapMatcher:
+    """Hidden-Markov-model map matcher over a road network.
+
+    The matcher caches a spatial index of the network and a small LRU-style
+    cache of network distances between segment pairs, since consecutive GPS
+    points of many trajectories repeat the same segment pairs.
+    """
+
+    def __init__(self, network: RoadNetwork,
+                 config: Optional[MapMatchingConfig] = None):
+        self._network = network
+        self._config = (config or MapMatchingConfig()).validate()
+        self._index = SpatialIndex(network, cell_size_m=self._config.candidate_radius_m)
+        self._distance_cache: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def config(self) -> MapMatchingConfig:
+        return self._config
+
+    # ----------------------------------------------------------- public API
+    def match(self, trajectory: RawTrajectory) -> MatchResult:
+        """Match one raw trajectory onto the road network."""
+        candidates_per_point = self._candidates(trajectory)
+        candidate_counts = [len(c) for c in candidates_per_point]
+        if any(count == 0 for count in candidate_counts):
+            return MatchResult(None, float("-inf"), candidate_counts)
+
+        path, score = self._viterbi(trajectory, candidates_per_point)
+        if path is None:
+            return MatchResult(None, float("-inf"), candidate_counts)
+
+        segments = self._connect(path)
+        if not segments:
+            return MatchResult(None, float("-inf"), candidate_counts)
+        matched = MatchedTrajectory(
+            trajectory_id=trajectory.trajectory_id,
+            segments=segments,
+            start_time_s=trajectory.start_time_s,
+        )
+        return MatchResult(matched, score, candidate_counts)
+
+    def match_many(self, trajectories: Sequence[RawTrajectory]) -> List[MatchResult]:
+        """Match a batch of raw trajectories."""
+        return [self.match(trajectory) for trajectory in trajectories]
+
+    # ------------------------------------------------------------ internals
+    def _candidates(self, trajectory: RawTrajectory) -> List[List[Tuple[int, float]]]:
+        """Candidate (segment, distance) lists for every GPS point."""
+        config = self._config
+        result = []
+        for point in trajectory.points:
+            near = self._index.segments_near(point.x, point.y,
+                                             config.candidate_radius_m)
+            if not near:
+                try:
+                    near = [self._index.nearest_segment(point.x, point.y)]
+                except Exception:
+                    near = []
+            result.append(near[: config.max_candidates])
+        return result
+
+    def _network_distance(self, from_segment: int, to_segment: int) -> float:
+        """Bounded network distance between two segments (metres)."""
+        key = (from_segment, to_segment)
+        cached = self._distance_cache.get(key)
+        if cached is not None:
+            return cached
+        if from_segment == to_segment:
+            self._distance_cache[key] = 0.0
+            return 0.0
+        distance = self._bounded_dijkstra(from_segment, to_segment)
+        self._distance_cache[key] = distance
+        return distance
+
+    def _bounded_dijkstra(self, source: int, target: int) -> float:
+        """Shortest network distance, giving up after ``routing_max_hops`` expansions."""
+        network = self._network
+        max_hops = self._config.routing_max_hops
+        best: Dict[int, float] = {source: 0.0}
+        frontier: List[Tuple[float, int]] = [(0.0, source)]
+        visited = set()
+        expansions = 0
+        while frontier and expansions < max_hops * 8:
+            cost, current = heapq.heappop(frontier)
+            if current in visited:
+                continue
+            visited.add(current)
+            expansions += 1
+            if current == target:
+                return cost
+            for successor in network.successor_segments(current):
+                if successor in visited:
+                    continue
+                new_cost = cost + network.segment(successor).length_m
+                if new_cost < best.get(successor, float("inf")):
+                    best[successor] = new_cost
+                    heapq.heappush(frontier, (new_cost, successor))
+        return float("inf")
+
+    def _viterbi(
+        self,
+        trajectory: RawTrajectory,
+        candidates_per_point: List[List[Tuple[int, float]]],
+    ) -> Tuple[Optional[List[int]], float]:
+        """Run Viterbi decoding over the candidate lattice."""
+        config = self._config
+        points = trajectory.points
+
+        # scores[i][k]: best log prob of reaching candidate k at point i.
+        scores: List[List[float]] = []
+        backpointers: List[List[int]] = []
+
+        first_scores = [
+            gaussian_emission_log_prob(distance, config.gps_sigma_m)
+            for _, distance in candidates_per_point[0]
+        ]
+        scores.append(first_scores)
+        backpointers.append([-1] * len(first_scores))
+
+        for i in range(1, len(points)):
+            previous_point, point = points[i - 1], points[i]
+            straight = math.hypot(point.x - previous_point.x,
+                                  point.y - previous_point.y)
+            current_scores = []
+            current_back = []
+            for to_segment, to_distance in candidates_per_point[i]:
+                emission = gaussian_emission_log_prob(to_distance, config.gps_sigma_m)
+                best_score = float("-inf")
+                best_prev = -1
+                for k, (from_segment, _) in enumerate(candidates_per_point[i - 1]):
+                    if scores[i - 1][k] == float("-inf"):
+                        continue
+                    network_distance = self._network_distance(from_segment, to_segment)
+                    if network_distance == float("inf"):
+                        continue
+                    transition = transition_log_prob(
+                        straight, network_distance, config.transition_beta)
+                    total = scores[i - 1][k] + transition + emission
+                    if total > best_score:
+                        best_score = total
+                        best_prev = k
+                current_scores.append(best_score)
+                current_back.append(best_prev)
+            scores.append(current_scores)
+            backpointers.append(current_back)
+            if all(score == float("-inf") for score in current_scores):
+                return None, float("-inf")
+
+        # Backtrack.
+        last = len(points) - 1
+        best_last = max(range(len(scores[last])), key=lambda k: scores[last][k])
+        if scores[last][best_last] == float("-inf"):
+            return None, float("-inf")
+        path_indices = [best_last]
+        for i in range(last, 0, -1):
+            path_indices.append(backpointers[i][path_indices[-1]])
+        path_indices.reverse()
+        path = [candidates_per_point[i][k][0] for i, k in enumerate(path_indices)]
+        return path, float(scores[last][best_last])
+
+    def _connect(self, raw_path: List[int]) -> List[int]:
+        """Collapse repeats and fill gaps so the matched route is connected."""
+        network = self._network
+        # Collapse consecutive duplicates.
+        collapsed = [raw_path[0]]
+        for segment in raw_path[1:]:
+            if segment != collapsed[-1]:
+                collapsed.append(segment)
+        # Fill gaps with shortest paths.
+        route = [collapsed[0]]
+        for segment in collapsed[1:]:
+            previous = route[-1]
+            if segment in network.successor_segments(previous):
+                route.append(segment)
+                continue
+            try:
+                bridge = dijkstra_route(network, previous, segment)
+            except DisconnectedRouteError:
+                return []
+            route.extend(bridge[1:])
+        # Remove immediate backtracking artefacts (A -> reverse(A)) introduced
+        # by noisy candidates: keep the route simple where possible.
+        return route

@@ -1,0 +1,31 @@
+"""Transition model of the HMM map matcher.
+
+Following Newson & Krumm / FMM, the transition probability between candidate
+segments of consecutive GPS fixes decays exponentially in the absolute
+difference between the straight-line distance of the fixes and the network
+(routing) distance between the candidates: detour-free matches are preferred.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import MapMatchingError
+
+
+def transition_log_prob(
+    straight_line_m: float,
+    network_distance_m: float,
+    beta: float,
+) -> float:
+    """Log probability of moving between two candidates.
+
+    ``beta`` plays the role of the exponential scale parameter (larger values
+    are more permissive of disagreement between the two distances).
+    """
+    if beta <= 0:
+        raise MapMatchingError("beta must be positive")
+    if straight_line_m < 0 or network_distance_m < 0:
+        raise MapMatchingError("distances must be non-negative")
+    delta = abs(straight_line_m - network_distance_m)
+    return -delta / beta - math.log(beta)

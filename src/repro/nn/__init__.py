@@ -1,0 +1,47 @@
+"""Minimal neural-network substrate in numpy.
+
+The paper implements RSRNet and ASDNet with TensorFlow; no deep-learning
+framework is available offline, so this package implements exactly the layers
+the paper needs — embeddings, linear layers, an LSTM (and a GRU for the
+generative baselines) with full backpropagation-through-time, softmax /
+cross-entropy losses, and SGD / Adam optimizers — on plain numpy arrays.
+
+The API is intentionally small and explicit: modules own
+:class:`~repro.nn.module.Parameter` objects holding ``value`` and ``grad``
+arrays, forward passes return caches that the corresponding backward passes
+consume, and optimizers update the parameters of a module tree in place.
+"""
+
+from .module import Module, Parameter
+from .layers import Embedding, Linear
+from .recurrent import GRUCell, LSTM, LSTMCell, GRU
+from .losses import (
+    binary_cross_entropy,
+    cross_entropy_from_logits,
+    softmax,
+    log_softmax,
+)
+from .functional import cosine_similarity, one_hot, sigmoid, tanh
+from .optim import SGD, Adam, clip_gradients
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LSTM",
+    "LSTMCell",
+    "GRU",
+    "GRUCell",
+    "softmax",
+    "log_softmax",
+    "cross_entropy_from_logits",
+    "binary_cross_entropy",
+    "cosine_similarity",
+    "one_hot",
+    "sigmoid",
+    "tanh",
+    "SGD",
+    "Adam",
+    "clip_gradients",
+]

@@ -1,0 +1,105 @@
+"""Feed-forward layers: Linear and Embedding."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .module import Module, Parameter, xavier_uniform
+
+
+class Linear(Module):
+    """A fully connected layer ``y = x W + b``.
+
+    Inputs can be a single vector of shape ``(in_features,)`` or a batch of
+    shape ``(batch, in_features)``.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None, bias: bool = True):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ModelError("Linear features must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            xavier_uniform(rng, in_features, out_features, (in_features, out_features)),
+            name="linear.weight",
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features), name="linear.bias")
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, dict]:
+        x = np.asarray(x, dtype=np.float64)
+        output = x @ self.weight.value
+        if self.has_bias:
+            output = output + self.bias.value
+        return output, {"x": x}
+
+    def backward(self, grad_output: np.ndarray, cache: dict) -> np.ndarray:
+        """Accumulate parameter gradients; return gradient w.r.t. the input."""
+        x = cache["x"]
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if x.ndim == 1:
+            self.weight.grad += np.outer(x, grad_output)
+            if self.has_bias:
+                self.bias.grad += grad_output
+        else:
+            self.weight.grad += x.T @ grad_output
+            if self.has_bias:
+                self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def __call__(self, x: np.ndarray) -> Tuple[np.ndarray, dict]:
+        return self.forward(x)
+
+
+class Embedding(Module):
+    """A lookup table mapping integer tokens to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: Optional[np.random.Generator] = None,
+                 initial: Optional[np.ndarray] = None):
+        super().__init__()
+        if num_embeddings < 1 or dim < 1:
+            raise ModelError("Embedding sizes must be positive")
+        rng = rng or np.random.default_rng(0)
+        if initial is not None:
+            initial = np.asarray(initial, dtype=np.float64)
+            if initial.shape != (num_embeddings, dim):
+                raise ModelError(
+                    f"initial embeddings must have shape {(num_embeddings, dim)}, "
+                    f"got {initial.shape}"
+                )
+            table = initial.copy()
+        else:
+            table = rng.normal(0.0, 0.1, size=(num_embeddings, dim))
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(table, name="embedding.weight")
+
+    def forward(self, tokens: Sequence[int]) -> Tuple[np.ndarray, dict]:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 0:
+            tokens = tokens[None]
+        if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.num_embeddings:
+            raise ModelError("embedding token out of range")
+        return self.weight.value[tokens], {"tokens": tokens}
+
+    def backward(self, grad_output: np.ndarray, cache: dict) -> None:
+        tokens = cache["tokens"]
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        np.add.at(self.weight.grad, tokens, grad_output)
+
+    def __call__(self, tokens: Sequence[int]) -> Tuple[np.ndarray, dict]:
+        return self.forward(tokens)
+
+    def vector(self, token: int) -> np.ndarray:
+        """The embedding vector of one token (read-only view)."""
+        if not (0 <= token < self.num_embeddings):
+            raise ModelError("embedding token out of range")
+        return self.weight.value[token]

@@ -1,0 +1,63 @@
+"""Losses and probability transforms."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def cross_entropy_from_logits(
+    logits: np.ndarray, targets: Sequence[int]
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy of integer targets under softmax(logits).
+
+    Returns ``(loss, grad_logits)`` where ``grad_logits`` is the gradient of
+    the mean loss with respect to the logits (shape ``(n, classes)``).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim == 1:
+        logits = logits[None, :]
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.ndim == 0:
+        targets = targets[None]
+    if len(targets) != len(logits):
+        raise ModelError("targets must align with logits")
+    if targets.min(initial=0) < 0 or targets.max(initial=0) >= logits.shape[1]:
+        raise ModelError("target class out of range")
+    log_probs = log_softmax(logits, axis=1)
+    n = len(targets)
+    loss = -float(log_probs[np.arange(n), targets].mean())
+    grad = softmax(logits, axis=1)
+    grad[np.arange(n), targets] -= 1.0
+    grad /= n
+    return loss, grad
+
+
+def binary_cross_entropy(probabilities: np.ndarray,
+                         targets: Sequence[float],
+                         eps: float = 1e-12) -> float:
+    """Mean binary cross-entropy between probabilities and 0/1 targets."""
+    probabilities = np.clip(np.asarray(probabilities, dtype=np.float64), eps, 1 - eps)
+    targets = np.asarray(targets, dtype=np.float64)
+    if probabilities.shape != targets.shape:
+        raise ModelError("probabilities and targets must have the same shape")
+    return float(-(targets * np.log(probabilities)
+                   + (1 - targets) * np.log(1 - probabilities)).mean())

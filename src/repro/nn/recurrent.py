@@ -1,0 +1,264 @@
+"""Recurrent layers: LSTM (used by RSRNet) and GRU (used by the VSAE baselines).
+
+Both cells implement explicit forward/backward passes so sequence models can
+backpropagate through time without an autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .functional import sigmoid, tanh
+from .module import Module, Parameter, xavier_uniform
+
+
+class LSTMCell(Module):
+    """A single LSTM cell (Hochreiter & Schmidhuber 1997).
+
+    Gate layout in the packed matrices is ``[input, forget, cell, output]``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if input_dim < 1 or hidden_dim < 1:
+            raise ModelError("LSTM dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_input = Parameter(
+            xavier_uniform(rng, input_dim, 4 * hidden_dim, (input_dim, 4 * hidden_dim)),
+            name="lstm.weight_input",
+        )
+        self.weight_hidden = Parameter(
+            xavier_uniform(rng, hidden_dim, 4 * hidden_dim, (hidden_dim, 4 * hidden_dim)),
+            name="lstm.weight_hidden",
+        )
+        bias = np.zeros(4 * hidden_dim)
+        # Positive forget-gate bias: standard trick to help gradient flow.
+        bias[hidden_dim:2 * hidden_dim] = 1.0
+        self.bias = Parameter(bias, name="lstm.bias")
+
+    def forward(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        """One step. Returns ``(h, c, cache)``."""
+        x = np.asarray(x, dtype=np.float64)
+        h_dim = self.hidden_dim
+        gates = (x @ self.weight_input.value
+                 + h_prev @ self.weight_hidden.value
+                 + self.bias.value)
+        input_gate = sigmoid(gates[:h_dim])
+        forget_gate = sigmoid(gates[h_dim:2 * h_dim])
+        cell_candidate = tanh(gates[2 * h_dim:3 * h_dim])
+        output_gate = sigmoid(gates[3 * h_dim:])
+        c = forget_gate * c_prev + input_gate * cell_candidate
+        tanh_c = tanh(c)
+        h = output_gate * tanh_c
+        cache = {
+            "x": x, "h_prev": h_prev, "c_prev": c_prev,
+            "input_gate": input_gate, "forget_gate": forget_gate,
+            "cell_candidate": cell_candidate, "output_gate": output_gate,
+            "c": c, "tanh_c": tanh_c,
+        }
+        return h, c, cache
+
+    def backward(
+        self, grad_h: np.ndarray, grad_c: np.ndarray, cache: dict
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One backward step. Returns ``(grad_x, grad_h_prev, grad_c_prev)``."""
+        input_gate = cache["input_gate"]
+        forget_gate = cache["forget_gate"]
+        cell_candidate = cache["cell_candidate"]
+        output_gate = cache["output_gate"]
+        tanh_c = cache["tanh_c"]
+
+        grad_output_gate = grad_h * tanh_c
+        grad_c_total = grad_c + grad_h * output_gate * (1.0 - tanh_c ** 2)
+        grad_input_gate = grad_c_total * cell_candidate
+        grad_forget_gate = grad_c_total * cache["c_prev"]
+        grad_cell_candidate = grad_c_total * input_gate
+        grad_c_prev = grad_c_total * forget_gate
+
+        # Back through the gate nonlinearities.
+        d_gates = np.concatenate([
+            grad_input_gate * input_gate * (1.0 - input_gate),
+            grad_forget_gate * forget_gate * (1.0 - forget_gate),
+            grad_cell_candidate * (1.0 - cell_candidate ** 2),
+            grad_output_gate * output_gate * (1.0 - output_gate),
+        ])
+
+        self.weight_input.grad += np.outer(cache["x"], d_gates)
+        self.weight_hidden.grad += np.outer(cache["h_prev"], d_gates)
+        self.bias.grad += d_gates
+
+        grad_x = self.weight_input.value @ d_gates
+        grad_h_prev = self.weight_hidden.value @ d_gates
+        return grad_x, grad_h_prev, grad_c_prev
+
+
+class LSTM(Module):
+    """An LSTM over a whole sequence with backpropagation through time."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self,
+        inputs: np.ndarray,
+        h0: Optional[np.ndarray] = None,
+        c0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, List[dict]]:
+        """Run the LSTM over ``inputs`` of shape ``(T, input_dim)``.
+
+        Returns the hidden states ``(T, hidden_dim)`` and the per-step caches
+        needed by :meth:`backward`.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.input_dim:
+            raise ModelError(
+                f"inputs must have shape (T, {self.input_dim}), got {inputs.shape}")
+        h = np.zeros(self.hidden_dim) if h0 is None else np.asarray(h0, dtype=np.float64)
+        c = np.zeros(self.hidden_dim) if c0 is None else np.asarray(c0, dtype=np.float64)
+        hidden_states = np.zeros((len(inputs), self.hidden_dim))
+        caches: List[dict] = []
+        for t, x in enumerate(inputs):
+            h, c, cache = self.cell.forward(x, h, c)
+            hidden_states[t] = h
+            caches.append(cache)
+        return hidden_states, caches
+
+    def backward(self, grad_hidden: np.ndarray, caches: List[dict]) -> np.ndarray:
+        """Backpropagate gradients of every hidden state through time.
+
+        ``grad_hidden`` has shape ``(T, hidden_dim)``; the return value is the
+        gradient with respect to the inputs, shape ``(T, input_dim)``.
+        """
+        grad_hidden = np.asarray(grad_hidden, dtype=np.float64)
+        if grad_hidden.shape != (len(caches), self.hidden_dim):
+            raise ModelError("grad_hidden shape must match the forward pass")
+        grad_inputs = np.zeros((len(caches), self.input_dim))
+        grad_h_next = np.zeros(self.hidden_dim)
+        grad_c_next = np.zeros(self.hidden_dim)
+        for t in range(len(caches) - 1, -1, -1):
+            grad_h = grad_hidden[t] + grad_h_next
+            grad_x, grad_h_next, grad_c_next = self.cell.backward(
+                grad_h, grad_c_next, caches[t])
+            grad_inputs[t] = grad_x
+        return grad_inputs
+
+
+class GRUCell(Module):
+    """A single GRU cell (Cho et al. 2014), used by the VSAE-family baselines."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if input_dim < 1 or hidden_dim < 1:
+            raise ModelError("GRU dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_input = Parameter(
+            xavier_uniform(rng, input_dim, 3 * hidden_dim, (input_dim, 3 * hidden_dim)),
+            name="gru.weight_input",
+        )
+        self.weight_hidden = Parameter(
+            xavier_uniform(rng, hidden_dim, 3 * hidden_dim, (hidden_dim, 3 * hidden_dim)),
+            name="gru.weight_hidden",
+        )
+        self.bias = Parameter(np.zeros(3 * hidden_dim), name="gru.bias")
+
+    def forward(self, x: np.ndarray, h_prev: np.ndarray) -> Tuple[np.ndarray, dict]:
+        """One step. Gate layout is ``[update, reset, candidate]``."""
+        x = np.asarray(x, dtype=np.float64)
+        h_dim = self.hidden_dim
+        projected_input = x @ self.weight_input.value + self.bias.value
+        projected_hidden = h_prev @ self.weight_hidden.value
+        update_gate = sigmoid(projected_input[:h_dim] + projected_hidden[:h_dim])
+        reset_gate = sigmoid(projected_input[h_dim:2 * h_dim]
+                             + projected_hidden[h_dim:2 * h_dim])
+        candidate = tanh(projected_input[2 * h_dim:]
+                         + reset_gate * projected_hidden[2 * h_dim:])
+        h = (1.0 - update_gate) * h_prev + update_gate * candidate
+        cache = {
+            "x": x, "h_prev": h_prev, "update_gate": update_gate,
+            "reset_gate": reset_gate, "candidate": candidate,
+            "projected_hidden_candidate": projected_hidden[2 * h_dim:],
+        }
+        return h, cache
+
+    def backward(self, grad_h: np.ndarray, cache: dict) -> Tuple[np.ndarray, np.ndarray]:
+        """One backward step. Returns ``(grad_x, grad_h_prev)``."""
+        h_dim = self.hidden_dim
+        update_gate = cache["update_gate"]
+        reset_gate = cache["reset_gate"]
+        candidate = cache["candidate"]
+        h_prev = cache["h_prev"]
+
+        grad_candidate = grad_h * update_gate
+        grad_update = grad_h * (candidate - h_prev)
+        grad_h_prev = grad_h * (1.0 - update_gate)
+
+        d_candidate_pre = grad_candidate * (1.0 - candidate ** 2)
+        d_update_pre = grad_update * update_gate * (1.0 - update_gate)
+        grad_reset = d_candidate_pre * cache["projected_hidden_candidate"]
+        d_reset_pre = grad_reset * reset_gate * (1.0 - reset_gate)
+
+        d_projected_input = np.concatenate([d_update_pre, d_reset_pre, d_candidate_pre])
+        d_projected_hidden = np.concatenate([
+            d_update_pre, d_reset_pre, d_candidate_pre * reset_gate])
+
+        self.weight_input.grad += np.outer(cache["x"], d_projected_input)
+        self.weight_hidden.grad += np.outer(h_prev, d_projected_hidden)
+        self.bias.grad += d_projected_input
+
+        grad_x = self.weight_input.value @ d_projected_input
+        grad_h_prev = grad_h_prev + self.weight_hidden.value @ d_projected_hidden
+        return grad_x, grad_h_prev
+
+
+class GRU(Module):
+    """A GRU over a whole sequence with backpropagation through time."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self, inputs: np.ndarray, h0: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, List[dict]]:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.input_dim:
+            raise ModelError(
+                f"inputs must have shape (T, {self.input_dim}), got {inputs.shape}")
+        h = np.zeros(self.hidden_dim) if h0 is None else np.asarray(h0, dtype=np.float64)
+        hidden_states = np.zeros((len(inputs), self.hidden_dim))
+        caches: List[dict] = []
+        for t, x in enumerate(inputs):
+            h, cache = self.cell.forward(x, h)
+            hidden_states[t] = h
+            caches.append(cache)
+        return hidden_states, caches
+
+    def backward(self, grad_hidden: np.ndarray, caches: List[dict]) -> np.ndarray:
+        grad_hidden = np.asarray(grad_hidden, dtype=np.float64)
+        if grad_hidden.shape != (len(caches), self.hidden_dim):
+            raise ModelError("grad_hidden shape must match the forward pass")
+        grad_inputs = np.zeros((len(caches), self.input_dim))
+        grad_h_next = np.zeros(self.hidden_dim)
+        for t in range(len(caches) - 1, -1, -1):
+            grad_x, grad_h_next = self.cell.backward(
+                grad_hidden[t] + grad_h_next, caches[t])
+            grad_inputs[t] = grad_x
+        return grad_inputs

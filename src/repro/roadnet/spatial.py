@@ -1,0 +1,92 @@
+"""Spatial indexing of road segments.
+
+Map matching needs "which segments are within r metres of this GPS point"
+queries for every point of every trajectory, so a uniform grid index over
+segment midpoints/endpoints is built once per network.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..exceptions import RoadNetworkError
+from .graph import RoadNetwork
+
+
+class SpatialIndex:
+    """Uniform-grid spatial index over the segments of a road network.
+
+    Each segment is inserted into every grid cell its bounding box overlaps,
+    so radius queries only need to inspect the cells overlapping the query
+    disc.
+    """
+
+    def __init__(self, network: RoadNetwork, cell_size_m: float = 150.0):
+        if cell_size_m <= 0:
+            raise RoadNetworkError("cell_size_m must be positive")
+        self._network = network
+        self._cell_size = float(cell_size_m)
+        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for segment in network.segments():
+            start, end = network.segment_endpoints(segment.segment_id)
+            for cell in self._cells_overlapping(
+                min(start.x, end.x), min(start.y, end.y),
+                max(start.x, end.x), max(start.y, end.y),
+            ):
+                self._cells[cell].append(segment.segment_id)
+
+    @property
+    def cell_size_m(self) -> float:
+        return self._cell_size
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        return int(math.floor(x / self._cell_size)), int(math.floor(y / self._cell_size))
+
+    def _cells_overlapping(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> List[Tuple[int, int]]:
+        min_cx, min_cy = self._cell_of(min_x, min_y)
+        max_cx, max_cy = self._cell_of(max_x, max_y)
+        return [
+            (cx, cy)
+            for cx in range(min_cx, max_cx + 1)
+            for cy in range(min_cy, max_cy + 1)
+        ]
+
+    def segments_near(self, x: float, y: float, radius_m: float) -> List[Tuple[int, float]]:
+        """Segments whose distance to ``(x, y)`` is at most ``radius_m``.
+
+        Returns ``(segment_id, distance_m)`` pairs sorted by distance.
+        """
+        if radius_m <= 0:
+            raise RoadNetworkError("radius_m must be positive")
+        candidates: Set[int] = set()
+        for cell in self._cells_overlapping(
+            x - radius_m, y - radius_m, x + radius_m, y + radius_m
+        ):
+            candidates.update(self._cells.get(cell, ()))
+        results = []
+        for segment_id in candidates:
+            distance, _, _ = self._network.project_point(segment_id, x, y)
+            if distance <= radius_m:
+                results.append((segment_id, distance))
+        results.sort(key=lambda item: item[1])
+        return results
+
+    def nearest_segment(self, x: float, y: float, max_radius_m: float = 2000.0) -> Tuple[int, float]:
+        """The closest segment to ``(x, y)``, expanding the search radius.
+
+        Raises :class:`RoadNetworkError` if nothing is found within
+        ``max_radius_m``.
+        """
+        radius = self._cell_size
+        while radius <= max_radius_m:
+            near = self.segments_near(x, y, radius)
+            if near:
+                return near[0]
+            radius *= 2.0
+        raise RoadNetworkError(
+            f"no segment within {max_radius_m} m of ({x:.1f}, {y:.1f})"
+        )

@@ -1,0 +1,48 @@
+"""Trajectory data model: raw GPS traces, map-matched trajectories, SD pairs.
+
+Terminology follows Section III of the paper: a *raw trajectory* is a sequence
+of GPS points, a *map-matched trajectory* is a sequence of road segments, a
+*subtrajectory* ``T[i, j]`` is a contiguous slice, and a *transition* is a pair
+of adjacent segments. Trajectories with the same source and destination
+segment form an *SD pair*.
+"""
+
+from .models import (
+    GPSPoint,
+    MatchedTrajectory,
+    RawTrajectory,
+    SDPair,
+    Subtrajectory,
+)
+from .ops import (
+    route_of,
+    split_by_labels,
+    subtrajectory_spans,
+    transitions_of,
+)
+from .sdpairs import SDPairIndex, group_by_sd_pair, time_slot_of
+from .similarity import (
+    discrete_frechet,
+    edit_distance_routes,
+    jaccard_similarity,
+    lcss_similarity,
+)
+
+__all__ = [
+    "GPSPoint",
+    "RawTrajectory",
+    "MatchedTrajectory",
+    "Subtrajectory",
+    "SDPair",
+    "SDPairIndex",
+    "group_by_sd_pair",
+    "time_slot_of",
+    "route_of",
+    "transitions_of",
+    "subtrajectory_spans",
+    "split_by_labels",
+    "discrete_frechet",
+    "edit_distance_routes",
+    "jaccard_similarity",
+    "lcss_similarity",
+]

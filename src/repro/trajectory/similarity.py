@@ -1,0 +1,104 @@
+"""Trajectory similarity measures.
+
+The CTSS baseline uses the discrete Fréchet distance between the ongoing
+partial route and a reference normal route; other measures (LCSS, edit
+distance, Jaccard) are provided for completeness and used in tests and the
+heuristic baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TrajectoryError
+from ..roadnet.graph import RoadNetwork
+
+Point = Tuple[float, float]
+
+
+def _segment_points(network: RoadNetwork, route: Sequence[int]) -> np.ndarray:
+    """Midpoints of a route's segments as an ``(n, 2)`` array."""
+    if not route:
+        raise TrajectoryError("route must not be empty")
+    return np.array([network.segment_midpoint(s) for s in route], dtype=float)
+
+
+def discrete_frechet(
+    route_a: Sequence[int],
+    route_b: Sequence[int],
+    network: RoadNetwork,
+) -> float:
+    """Discrete Fréchet distance between two routes (in metres).
+
+    Routes are discretised at segment midpoints. Quadratic time and space in
+    the route lengths, as in the CTSS baseline the paper describes.
+    """
+    points_a = _segment_points(network, route_a)
+    points_b = _segment_points(network, route_b)
+    return discrete_frechet_points(points_a, points_b)
+
+
+def discrete_frechet_points(points_a: np.ndarray, points_b: np.ndarray) -> float:
+    """Discrete Fréchet distance between two polylines given as point arrays."""
+    n, m = len(points_a), len(points_b)
+    if n == 0 or m == 0:
+        raise TrajectoryError("point sequences must not be empty")
+    # Pairwise Euclidean distances.
+    diff = points_a[:, None, :] - points_b[None, :, :]
+    dist = np.sqrt((diff ** 2).sum(axis=2))
+    coupling = np.full((n, m), np.inf)
+    coupling[0, 0] = dist[0, 0]
+    for j in range(1, m):
+        coupling[0, j] = max(coupling[0, j - 1], dist[0, j])
+    for i in range(1, n):
+        coupling[i, 0] = max(coupling[i - 1, 0], dist[i, 0])
+        for j in range(1, m):
+            best_previous = min(coupling[i - 1, j], coupling[i - 1, j - 1],
+                                coupling[i, j - 1])
+            coupling[i, j] = max(best_previous, dist[i, j])
+    return float(coupling[n - 1, m - 1])
+
+
+def jaccard_similarity(route_a: Sequence[int], route_b: Sequence[int]) -> float:
+    """Jaccard similarity of the segment sets of two routes."""
+    set_a, set_b = set(route_a), set(route_b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def lcss_similarity(route_a: Sequence[int], route_b: Sequence[int]) -> float:
+    """Longest-common-subsequence similarity normalised by the shorter route."""
+    if not route_a or not route_b:
+        raise TrajectoryError("routes must not be empty")
+    n, m = len(route_a), len(route_b)
+    table = np.zeros((n + 1, m + 1), dtype=np.int32)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if route_a[i - 1] == route_b[j - 1]:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return float(table[n, m]) / min(n, m)
+
+
+def edit_distance_routes(route_a: Sequence[int], route_b: Sequence[int]) -> int:
+    """Levenshtein edit distance between two routes (segment-level)."""
+    if not route_a:
+        return len(route_b)
+    if not route_b:
+        return len(route_a)
+    n, m = len(route_a), len(route_b)
+    previous = list(range(m + 1))
+    for i in range(1, n + 1):
+        current = [i] + [0] * m
+        for j in range(1, m + 1):
+            substitution = previous[j - 1] + (0 if route_a[i - 1] == route_b[j - 1] else 1)
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, substitution)
+        previous = current
+    return previous[m]

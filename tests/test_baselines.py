@@ -1,0 +1,194 @@
+"""Tests of the baseline detectors and the threshold-adaptation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CTSSScorer,
+    DBTODScorer,
+    GMVSAEScorer,
+    IBOATDetector,
+    SAEScorer,
+    SDVSAEScorer,
+    ThresholdedDetector,
+    TransitionFrequencyScorer,
+    VSAEScorer,
+    tune_threshold,
+)
+from repro.baselines.adapt import labels_from_scores
+from repro.baselines.iboat import _contains_contiguous
+from repro.baselines.vsae import AutoencoderConfig, SequenceAutoencoder, train_autoencoder
+from repro.eval import evaluate_detector
+from repro.exceptions import EvaluationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def autoencoder(pipeline, dataset_split):
+    train, _, _ = dataset_split
+    return train_autoencoder(
+        pipeline.vocabulary, train,
+        AutoencoderConfig(embedding_dim=12, hidden_dim=12, latent_dim=6,
+                          epochs=1, n_components=3, seed=1),
+        max_trajectories=80,
+    )
+
+
+# --------------------------------------------------------------- adaptation
+def test_labels_from_scores_protects_endpoints():
+    labels = labels_from_scores([9.0, 0.1, 9.0, 9.0], threshold=1.0)
+    assert labels == [0, 0, 1, 0]
+
+
+def test_tune_threshold_separates_classes(pipeline, dataset_split):
+    _, development, _ = dataset_split
+    scorer = TransitionFrequencyScorer(pipeline)
+    threshold = tune_threshold(scorer, development)
+    assert 0.0 <= threshold <= 1.0
+
+
+def test_tune_threshold_requires_labels(pipeline, dataset_split):
+    train, development, _ = dataset_split
+    scorer = TransitionFrequencyScorer(pipeline)
+    with pytest.raises(EvaluationError):
+        tune_threshold(scorer, [])
+    unlabeled = development[0].with_labels([0] * len(development[0]))
+    unlabeled.labels = None
+    with pytest.raises(EvaluationError):
+        tune_threshold(scorer, [unlabeled])
+
+
+def test_thresholded_detector_requires_tuning(pipeline, dataset_split):
+    _, _, test = dataset_split
+    detector = ThresholdedDetector(TransitionFrequencyScorer(pipeline))
+    with pytest.raises(EvaluationError):
+        detector.detect(test[0])
+
+
+def test_thresholded_detector_detects(pipeline, dataset_split):
+    _, development, test = dataset_split
+    detector = ThresholdedDetector(TransitionFrequencyScorer(pipeline)).tune(development)
+    result = detector.detect(test[0])
+    assert len(result.labels) == len(test[0])
+    assert len(result.scores) == len(test[0])
+    assert result.spans == result.spans  # spans property is stable
+
+
+# -------------------------------------------------------------------- IBOAT
+def test_contains_contiguous():
+    assert _contains_contiguous([1, 2, 3, 4], [2, 3])
+    assert not _contains_contiguous([1, 2, 3, 4], [2, 4])
+    assert _contains_contiguous([1, 2], [])
+    assert not _contains_contiguous([1], [1, 2])
+
+
+def test_iboat_labels_detours(pipeline, dataset_split):
+    _, _, test = dataset_split
+    detector = IBOATDetector(pipeline, support_threshold=0.2)
+    anomalous = next(t for t in test if t.is_anomalous)
+    result = detector.detect(anomalous)
+    assert len(result.labels) == len(anomalous)
+    assert result.labels[0] == 0 and result.labels[-1] == 0
+    # The detour segments get low support, so at least part of it is flagged.
+    flagged = {i for i, label in enumerate(result.labels) if label == 1}
+    true_positions = {i for i, label in enumerate(anomalous.labels) if label == 1}
+    assert flagged & true_positions
+
+
+def test_iboat_support_and_validation(pipeline):
+    detector = IBOATDetector(pipeline)
+    assert detector.support([1, 2], [[1, 2, 3], [4, 5]]) == pytest.approx(0.5)
+    assert detector.support([1], []) == 1.0
+    with pytest.raises(EvaluationError):
+        IBOATDetector(pipeline, support_threshold=1.5)
+
+
+# -------------------------------------------------------------------- DBTOD
+def test_dbtod_scores_rare_transitions_higher(dataset, dataset_split):
+    train, _, test = dataset_split
+    scorer = DBTODScorer(dataset.network, train)
+    anomalous = next(t for t in test if t.is_anomalous)
+    scores = scorer.scores(anomalous)
+    assert len(scores) == len(anomalous)
+    detour_scores = [s for s, label in zip(scores, anomalous.labels) if label == 1]
+    normal_scores = [s for s, label in zip(scores[1:], anomalous.labels[1:])
+                     if label == 0]
+    assert np.mean(detour_scores) > np.mean(normal_scores)
+
+
+def test_dbtod_validation(dataset):
+    with pytest.raises(EvaluationError):
+        DBTODScorer(dataset.network, [])
+
+
+# --------------------------------------------------------------------- CTSS
+def test_ctss_scores_peak_on_detours(pipeline, dataset_split):
+    _, _, test = dataset_split
+    scorer = CTSSScorer(pipeline)
+    anomalous = next(t for t in test if t.is_anomalous)
+    scores = scorer.scores(anomalous)
+    assert len(scores) == len(anomalous)
+    first_detour = anomalous.labels.index(1)
+    assert max(scores[first_detour:]) > max(scores[:first_detour] or [0.0])
+
+
+def test_ctss_normal_route_scores_near_zero(pipeline, dataset_split):
+    _, _, test = dataset_split
+    scorer = CTSSScorer(pipeline)
+    normal = next(t for t in test if not t.is_anomalous)
+    assert max(scorer.scores(normal)) < 500.0
+
+
+# ----------------------------------------------------------- autoencoders
+def test_autoencoder_training_reduces_nll(pipeline, dataset_split):
+    train, _, _ = dataset_split
+    config = AutoencoderConfig(embedding_dim=10, hidden_dim=10, latent_dim=5,
+                               epochs=1, seed=3)
+    model = SequenceAutoencoder(len(pipeline.vocabulary), config)
+    tokens = pipeline.vocabulary.tokens(train[0].segments)
+    first = model.train_step(tokens)
+    for _ in range(25):
+        last = model.train_step(tokens)
+    assert last < first
+
+
+def test_autoencoder_mixture_requires_training(pipeline):
+    model = SequenceAutoencoder(len(pipeline.vocabulary), AutoencoderConfig())
+    with pytest.raises(NotFittedError):
+        model.fit_mixture()
+    with pytest.raises(NotFittedError):
+        model.mixture_means
+
+
+def test_autoencoder_scorers_shapes(autoencoder, pipeline, dataset_split):
+    _, _, test = dataset_split
+    trajectory = test[0]
+    for scorer_class in (SAEScorer, VSAEScorer, GMVSAEScorer, SDVSAEScorer):
+        scorer = scorer_class(autoencoder, pipeline.vocabulary)
+        scores = scorer.scores(trajectory)
+        assert len(scores) == len(trajectory)
+        assert all(np.isfinite(s) for s in scores)
+
+
+def test_gmvsae_never_worse_than_sdvsae(autoencoder, pipeline, dataset_split):
+    """GM-VSAE decodes from every component, so its best NLL is <= SD-VSAE's."""
+    _, _, test = dataset_split
+    gm = GMVSAEScorer(autoencoder, pipeline.vocabulary)
+    sd = SDVSAEScorer(autoencoder, pipeline.vocabulary)
+    for trajectory in test[:5]:
+        gm_scores = np.asarray(gm.scores(trajectory))
+        sd_scores = np.asarray(sd.scores(trajectory))
+        assert np.all(gm_scores <= sd_scores + 1e-9)
+
+
+# -------------------------------------------------------- end-to-end sanity
+def test_every_baseline_evaluates(pipeline, dataset, dataset_split, autoencoder):
+    train, development, test = dataset_split
+    detectors = {
+        "IBOAT": IBOATDetector(pipeline),
+        "DBTOD": ThresholdedDetector(DBTODScorer(dataset.network, train)).tune(development),
+        "CTSS": ThresholdedDetector(CTSSScorer(pipeline)).tune(development),
+        "SAE": ThresholdedDetector(SAEScorer(autoencoder, pipeline.vocabulary)).tune(development),
+    }
+    for name, detector in detectors.items():
+        run = evaluate_detector(detector, test[:30], name=name)
+        assert 0.0 <= run.overall.f1 <= 1.0

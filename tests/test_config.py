@@ -1,0 +1,140 @@
+"""Tests of the configuration dataclasses and their validation."""
+
+import pytest
+
+from repro.config import (
+    ASDNetConfig,
+    DataGenConfig,
+    EmbeddingConfig,
+    LabelingConfig,
+    MapMatchingConfig,
+    RL4OASDConfig,
+    RoadNetworkConfig,
+    RSRNetConfig,
+    TrainingConfig,
+    small_config,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_default_config_is_valid():
+    config = RL4OASDConfig()
+    assert config.validate() is config
+
+
+def test_paper_defaults():
+    """The defaults mirror the paper's setting (Section V-A)."""
+    config = RL4OASDConfig()
+    assert config.labeling.alpha == 0.5
+    assert config.labeling.delta == 0.4
+    assert config.training.delayed_labeling_window == 8
+    assert config.labeling.time_slots_per_day == 24
+    assert config.rsrnet.embedding_dim == 128
+    assert config.rsrnet.hidden_dim == 128
+    assert config.rsrnet.learning_rate == pytest.approx(0.01)
+    assert config.asdnet.learning_rate == pytest.approx(0.001)
+    assert config.training.pretrain_trajectories == 200
+    assert config.training.joint_trajectories == 10000
+    assert config.training.joint_epochs == 5
+
+
+def test_small_config_is_valid_and_small():
+    config = small_config()
+    assert config.validate() is config
+    assert config.rsrnet.hidden_dim < 128
+    assert config.training.joint_trajectories < 10000
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"grid_rows": 1},
+    {"cell_length_m": 0.0},
+    {"diagonal_fraction": 1.5},
+    {"removal_fraction": 0.9},
+])
+def test_road_network_config_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        RoadNetworkConfig(**kwargs).validate()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"gps_sigma_m": 0},
+    {"transition_beta": -1},
+    {"candidate_radius_m": 0},
+    {"max_candidates": 0},
+])
+def test_map_matching_config_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        MapMatchingConfig(**kwargs).validate()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"n_sd_pairs": 0},
+    {"trajectories_per_pair": 1},
+    {"anomaly_ratio": 1.5},
+    {"min_route_length": 1},
+])
+def test_data_gen_config_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        DataGenConfig(**kwargs).validate()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"alpha": 0.0},
+    {"alpha": 1.0},
+    {"delta": -0.1},
+    {"time_slots_per_day": 0},
+    {"min_slot_group_size": 0},
+])
+def test_labeling_config_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        LabelingConfig(**kwargs).validate()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"embedding_dim": 0},
+    {"hidden_dim": 0},
+    {"learning_rate": 0.0},
+])
+def test_rsrnet_config_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        RSRNetConfig(**kwargs).validate()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"label_embedding_dim": 0},
+    {"learning_rate": -0.1},
+])
+def test_asdnet_config_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        ASDNetConfig(**kwargs).validate()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"pretrain_trajectories": 0},
+    {"pretrain_epochs": 0},
+    {"joint_epochs": 0},
+    {"delayed_labeling_window": -1},
+    {"validation_interval": 0},
+])
+def test_training_config_rejects_bad_values(kwargs):
+    with pytest.raises(ConfigurationError):
+        TrainingConfig(**kwargs).validate()
+
+
+def test_embedding_config_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        EmbeddingConfig(dimension=1).validate()
+
+
+def test_with_overrides_replaces_sections():
+    config = RL4OASDConfig()
+    new = config.with_overrides(labeling=LabelingConfig(alpha=0.3))
+    assert new.labeling.alpha == 0.3
+    assert config.labeling.alpha == 0.5
+    assert new.rsrnet is config.rsrnet
+
+
+def test_configs_are_frozen():
+    config = LabelingConfig()
+    with pytest.raises(Exception):
+        config.alpha = 0.9

@@ -1,0 +1,196 @@
+"""Tests of the online detector (Algorithm 1), the RNEL/DL enhancements, the
+joint trainer and the online-learning wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.config import ASDNetConfig, LabelingConfig, RSRNetConfig, TrainingConfig
+from repro.core import OnlineDetector, OnlineLearner, RL4OASDTrainer
+from repro.core.detector import apply_delayed_labeling, apply_rnel
+from repro.eval import evaluate_detector
+from repro.exceptions import ModelError, NotFittedError
+
+
+# ---------------------------------------------------------------------- RNEL
+def test_rnel_rules(line_network):
+    # Segment 1 (n1->n2): its predecessor 0 has out-degree 2, successor chain.
+    # Rule 1: single-out + single-in copies the previous label.
+    # line_network: segment 3 (n1->n4) out=1 (only 4 follows), segment 4 in=1.
+    assert apply_rnel(line_network, 3, 4, previous_label=0) == 0
+    assert apply_rnel(line_network, 3, 4, previous_label=1) == 1
+    # Rule 2: single-out, multi-in, previous normal -> normal.
+    # segment 4 (n4->n2) out=1 (only 2 follows), segment 2 (n2->n3) in=2.
+    assert apply_rnel(line_network, 4, 2, previous_label=0) == 0
+    # Rule 3 requires multi-out + single-in + previous anomalous.
+    assert apply_rnel(line_network, 0, 3, previous_label=1) == 1
+    # Otherwise (multi-out, single-in but previous normal) the policy decides.
+    assert apply_rnel(line_network, 0, 1, previous_label=0) is None
+
+
+# ----------------------------------------------------------- delayed labeling
+def test_delayed_labeling_merges_nearby_fragments():
+    labels = [0, 1, 1, 0, 0, 1, 0, 0]
+    assert apply_delayed_labeling(labels, window=4) == [0, 1, 1, 1, 1, 1, 0, 0]
+
+
+def test_delayed_labeling_respects_window():
+    labels = [0, 1, 0, 0, 0, 0, 1, 0]
+    assert apply_delayed_labeling(labels, window=2) == labels
+
+
+def test_delayed_labeling_noop_cases():
+    assert apply_delayed_labeling([0, 0, 0], window=8) == [0, 0, 0]
+    assert apply_delayed_labeling([1, 1], window=0) == [1, 1]
+    with pytest.raises(ModelError):
+        apply_delayed_labeling([0, 1], window=-1)
+
+
+def test_delayed_labeling_does_not_extend_past_last_fragment():
+    labels = [1, 0, 0, 0, 0, 0, 0, 0]
+    assert apply_delayed_labeling(labels, window=3) == labels
+
+
+# ------------------------------------------------------------------ detector
+def test_detector_output_structure(trained_model, dataset_split):
+    _, _, test = dataset_split
+    detector = trained_model.detector()
+    result = detector.detect(test[0], record_timing=True)
+    assert len(result.labels) == len(test[0])
+    assert set(result.labels) <= {0, 1}
+    assert result.labels[0] == 0 and result.labels[-1] == 0
+    assert len(result.per_point_seconds) == len(test[0])
+    assert result.total_seconds >= 0
+    spans = result.spans
+    assert all(a <= b for a, b in spans)
+    assert len(result.subtrajectories) == len(spans)
+
+
+def test_detector_is_deterministic_in_greedy_mode(trained_model, dataset_split):
+    _, _, test = dataset_split
+    detector = trained_model.detector(greedy=True)
+    first = detector.detect(test[1]).labels
+    second = detector.detect(test[1]).labels
+    assert first == second
+
+
+def test_detector_detect_many(trained_model, dataset_split):
+    _, _, test = dataset_split
+    results = trained_model.detector().detect_many(test[:5])
+    assert len(results) == 5
+
+
+def test_detector_quality_on_test_set(trained_model, dataset_split):
+    """The trained detector clearly beats chance on the held-out data.
+
+    The tiny test split contains very few anomalous subtrajectories, so the
+    development and test portions are pooled to get a stable estimate.
+    """
+    _, development, test = dataset_split
+    run = evaluate_detector(trained_model.detector(), development + test,
+                            name="RL4OASD")
+    assert run.overall.recall > 0.4
+    assert run.overall.f1 > 0.2
+
+
+def test_detector_per_point_latency_is_online(trained_model, dataset_split):
+    _, _, test = dataset_split
+    detector = trained_model.detector()
+    result = detector.detect(max(test, key=len), record_timing=True)
+    mean_ms = 1000.0 * np.mean(result.per_point_seconds)
+    assert mean_ms < 50.0
+
+
+# ------------------------------------------------------------------- trainer
+def test_trainer_requires_history(dataset):
+    with pytest.raises(ModelError):
+        RL4OASDTrainer(dataset.network, [])
+
+
+def test_trainer_model_requires_training(dataset, dataset_split):
+    train, _, _ = dataset_split
+    trainer = RL4OASDTrainer(dataset.network, train[:40])
+    with pytest.raises(NotFittedError):
+        trainer.model()
+
+
+def test_trainer_report_contents(trained_model):
+    report = trained_model.report
+    assert report.pretrain_losses
+    assert report.pretrain_seconds > 0
+    assert report.validation_f1
+    assert not np.isnan(report.best_validation_f1)
+    summary = report.summary()
+    assert "pretrain_seconds" in summary
+
+
+def test_trainer_ablation_flags_run(dataset, dataset_split):
+    """Every ablation switch produces a usable (if weaker) model."""
+    train, development, test = dataset_split
+    quick = dict(pretrain_trajectories=40, pretrain_epochs=2,
+                 joint_trajectories=20, joint_epochs=1, validation_interval=20)
+    for flag in ("use_asdnet", "use_rnel", "use_delayed_labeling",
+                 "use_noisy_labels"):
+        trainer = RL4OASDTrainer(
+            dataset.network, train,
+            labeling_config=LabelingConfig(alpha=0.35, delta=0.25),
+            rsrnet_config=RSRNetConfig(embedding_dim=12, hidden_dim=12, nrf_dim=6),
+            asdnet_config=ASDNetConfig(label_embedding_dim=6),
+            training_config=TrainingConfig(**quick, **{flag: False}),
+            development_set=development[:10],
+        )
+        model = trainer.train()
+        result = model.detector().detect(test[0])
+        assert len(result.labels) == len(test[0])
+
+
+def test_fine_tune_extends_history(dataset, dataset_split):
+    train, development, test = dataset_split
+    trainer = RL4OASDTrainer(
+        dataset.network, train[:120],
+        labeling_config=LabelingConfig(alpha=0.35, delta=0.25),
+        rsrnet_config=RSRNetConfig(embedding_dim=12, hidden_dim=12, nrf_dim=6),
+        asdnet_config=ASDNetConfig(label_embedding_dim=6),
+        training_config=TrainingConfig(pretrain_trajectories=40, pretrain_epochs=2,
+                                       joint_trajectories=20, joint_epochs=1,
+                                       validation_interval=20),
+        development_set=development[:10],
+    )
+    trainer.train()
+    before = len(trainer.pipeline.sd_index)
+    trainer.fine_tune(train[120:140], epochs=1)
+    assert len(trainer.pipeline.sd_index) == before + 20
+    trainer.fine_tune([])  # no-op
+
+
+# ------------------------------------------------------------- online learner
+def test_online_learner_workflow(dataset, dataset_split):
+    train, development, test = dataset_split
+    trainer = RL4OASDTrainer(
+        dataset.network, train[:120],
+        labeling_config=LabelingConfig(alpha=0.35, delta=0.25),
+        rsrnet_config=RSRNetConfig(embedding_dim=12, hidden_dim=12, nrf_dim=6),
+        asdnet_config=ASDNetConfig(label_embedding_dim=6),
+        training_config=TrainingConfig(pretrain_trajectories=40, pretrain_epochs=2,
+                                       joint_trajectories=20, joint_epochs=1,
+                                       validation_interval=20),
+        development_set=development[:10],
+    )
+    learner = OnlineLearner(trainer)
+    with pytest.raises(ModelError):
+        learner.detector()
+    with pytest.raises(ModelError):
+        learner.observe_part(1, train[120:130])
+    learner.initial_fit()
+    record = learner.observe_part(1, train[120:140])
+    assert record.num_trajectories == 20
+    assert record.seconds > 0
+    assert learner.training_time_by_part()[1] == record.seconds
+    detector = learner.detector()
+    assert len(detector.detect(test[0]).labels) == len(test[0])
+
+
+def test_online_learner_validates_epochs(dataset, dataset_split):
+    train, _, _ = dataset_split
+    trainer = RL4OASDTrainer(dataset.network, train[:50])
+    with pytest.raises(ModelError):
+        OnlineLearner(trainer, fine_tune_epochs=0)

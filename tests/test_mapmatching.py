@@ -1,0 +1,107 @@
+"""Tests of the HMM map matcher and its emission/transition models."""
+
+import math
+
+import pytest
+
+from repro.config import MapMatchingConfig
+from repro.datagen import sample_gps_trace, tiny_dataset
+from repro.exceptions import MapMatchingError
+from repro.mapmatching import (
+    HMMMapMatcher,
+    gaussian_emission_log_prob,
+    transition_log_prob,
+)
+from repro.trajectory import jaccard_similarity
+
+import numpy as np
+
+
+# ------------------------------------------------------------------- models
+def test_emission_prefers_closer_points():
+    near = gaussian_emission_log_prob(2.0, sigma_m=10.0)
+    far = gaussian_emission_log_prob(40.0, sigma_m=10.0)
+    assert near > far
+
+
+def test_emission_rejects_bad_inputs():
+    with pytest.raises(MapMatchingError):
+        gaussian_emission_log_prob(5.0, sigma_m=0.0)
+    with pytest.raises(MapMatchingError):
+        gaussian_emission_log_prob(-1.0, sigma_m=5.0)
+
+
+def test_transition_prefers_consistent_distances():
+    consistent = transition_log_prob(100.0, 105.0, beta=5.0)
+    inconsistent = transition_log_prob(100.0, 400.0, beta=5.0)
+    assert consistent > inconsistent
+
+
+def test_transition_rejects_bad_inputs():
+    with pytest.raises(MapMatchingError):
+        transition_log_prob(1.0, 1.0, beta=0.0)
+    with pytest.raises(MapMatchingError):
+        transition_log_prob(-1.0, 1.0, beta=1.0)
+
+
+# ------------------------------------------------------------------ matcher
+@pytest.fixture(scope="module")
+def raw_dataset():
+    return tiny_dataset(seed=7, include_raw=True)
+
+
+@pytest.fixture(scope="module")
+def matcher(raw_dataset):
+    return HMMMapMatcher(raw_dataset.network)
+
+
+def test_matcher_recovers_most_of_the_route(raw_dataset, matcher):
+    hits = 0
+    total = 0
+    for raw, truth in zip(raw_dataset.raw_trajectories[:15],
+                          raw_dataset.trajectories[:15]):
+        result = matcher.match(raw)
+        assert result.succeeded
+        total += 1
+        if jaccard_similarity(result.matched.segments, truth.segments) > 0.7:
+            hits += 1
+    assert hits / total >= 0.7
+
+
+def test_matched_route_is_connected(raw_dataset, matcher):
+    result = matcher.match(raw_dataset.raw_trajectories[0])
+    assert result.succeeded
+    assert raw_dataset.network.is_route_connected(result.matched.segments)
+
+
+def test_match_preserves_metadata(raw_dataset, matcher):
+    raw = raw_dataset.raw_trajectories[3]
+    result = matcher.match(raw)
+    assert result.matched.trajectory_id == raw.trajectory_id
+    assert result.matched.start_time_s == raw.start_time_s
+    assert result.log_likelihood > float("-inf")
+    assert len(result.candidate_counts) == len(raw)
+
+
+def test_match_many(raw_dataset, matcher):
+    results = matcher.match_many(raw_dataset.raw_trajectories[:5])
+    assert len(results) == 5
+    assert all(r.succeeded for r in results)
+
+
+def test_noisier_gps_still_matches(raw_dataset):
+    """With heavy noise the matcher may lose accuracy but must not crash."""
+    network = raw_dataset.network
+    rng = np.random.default_rng(0)
+    truth = raw_dataset.trajectories[0]
+    noisy = sample_gps_trace(network, truth.segments, 0.0, rng, gps_noise_m=25.0)
+    matcher = HMMMapMatcher(network, MapMatchingConfig(gps_sigma_m=25.0))
+    result = matcher.match(noisy)
+    assert result.succeeded
+
+
+def test_matcher_exposes_config(raw_dataset):
+    config = MapMatchingConfig(gps_sigma_m=9.0)
+    matcher = HMMMapMatcher(raw_dataset.network, config)
+    assert matcher.config.gps_sigma_m == 9.0
+    assert matcher.network is raw_dataset.network

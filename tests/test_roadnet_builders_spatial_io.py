@@ -1,0 +1,120 @@
+"""Tests of the city builders, the spatial index and edge-list I/O."""
+
+import pytest
+
+from repro.config import RoadNetworkConfig
+from repro.exceptions import RoadNetworkError
+from repro.roadnet import (
+    SpatialIndex,
+    build_grid_city,
+    build_ring_radial_city,
+    dijkstra_route,
+    load_edge_list,
+    save_edge_list,
+)
+
+
+# ----------------------------------------------------------------- builders
+def test_grid_city_sizes(grid_network):
+    assert grid_network.num_intersections == 64
+    # Two-way streets: at least the border ring exists.
+    assert grid_network.num_segments > 100
+
+
+def test_grid_city_is_deterministic():
+    a = build_grid_city(RoadNetworkConfig(grid_rows=6, grid_cols=6, seed=9))
+    b = build_grid_city(RoadNetworkConfig(grid_rows=6, grid_cols=6, seed=9))
+    assert a.num_segments == b.num_segments
+    assert [s.length_m for s in a.segments()] == [s.length_m for s in b.segments()]
+
+
+def test_grid_city_two_way_streets(grid_network):
+    """Every street is two-way, so every segment has a reverse counterpart."""
+    for segment in list(grid_network.segments())[:50]:
+        reverse = grid_network.segment_between(segment.end_node, segment.start_node)
+        assert reverse is not None
+
+
+def test_grid_city_routes_exist(grid_network):
+    segment_ids = grid_network.segment_ids()
+    route = dijkstra_route(grid_network, segment_ids[0], segment_ids[-1])
+    assert grid_network.is_route_connected(route)
+
+
+def test_ring_radial_city():
+    network = build_ring_radial_city(n_rings=3, nodes_per_ring=12)
+    assert network.num_intersections == 1 + 3 * 12
+    assert network.num_segments > 0
+    route = dijkstra_route(network, network.segment_ids()[0],
+                           network.segment_ids()[-1])
+    assert network.is_route_connected(route)
+
+
+def test_ring_radial_rejects_bad_sizes():
+    with pytest.raises(RoadNetworkError):
+        build_ring_radial_city(n_rings=0)
+
+
+# ------------------------------------------------------------- spatial index
+def test_spatial_index_nearest(line_network):
+    index = SpatialIndex(line_network, cell_size_m=50.0)
+    segment_id, distance = index.nearest_segment(50.0, 5.0)
+    assert segment_id == 0
+    assert distance == pytest.approx(5.0)
+
+
+def test_spatial_index_radius_query(line_network):
+    index = SpatialIndex(line_network, cell_size_m=50.0)
+    near = index.segments_near(150.0, 0.0, radius_m=60.0)
+    found = {segment_id for segment_id, _ in near}
+    assert 1 in found
+    # Results are sorted by distance.
+    distances = [d for _, d in near]
+    assert distances == sorted(distances)
+
+
+def test_spatial_index_rejects_bad_radius(line_network):
+    index = SpatialIndex(line_network)
+    with pytest.raises(RoadNetworkError):
+        index.segments_near(0, 0, radius_m=0)
+
+
+def test_spatial_index_nearest_raises_when_too_far(line_network):
+    index = SpatialIndex(line_network, cell_size_m=50.0)
+    with pytest.raises(RoadNetworkError):
+        index.nearest_segment(1e7, 1e7, max_radius_m=100.0)
+
+
+def test_spatial_index_consistent_with_projection(grid_network):
+    index = SpatialIndex(grid_network, cell_size_m=150.0)
+    x, y = grid_network.segment_midpoint(grid_network.segment_ids()[10])
+    segment_id, distance = index.nearest_segment(x, y)
+    direct, _, _ = grid_network.project_point(segment_id, x, y)
+    assert distance == pytest.approx(direct)
+
+
+# ---------------------------------------------------------------------- I/O
+def test_edge_list_round_trip(tmp_path, line_network):
+    path = tmp_path / "network.txt"
+    save_edge_list(line_network, path)
+    loaded = load_edge_list(path)
+    assert loaded.num_intersections == line_network.num_intersections
+    assert loaded.num_segments == line_network.num_segments
+    for segment in line_network.segments():
+        other = loaded.segment(segment.segment_id)
+        assert other.start_node == segment.start_node
+        assert other.length_m == pytest.approx(segment.length_m)
+
+
+def test_edge_list_rejects_malformed(tmp_path):
+    path = tmp_path / "broken.txt"
+    path.write_text("N 0 0.0 0.0\nX what is this\n")
+    with pytest.raises(RoadNetworkError):
+        load_edge_list(path)
+
+
+def test_edge_list_skips_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "ok.txt"
+    path.write_text("# comment\n\nN 0 0 0\nN 1 10 0\nE 0 0 1 10.0 13.9 0\n")
+    loaded = load_edge_list(path)
+    assert loaded.num_segments == 1

@@ -1,0 +1,87 @@
+"""Tests of Dijkstra routing and k-shortest routes."""
+
+import pytest
+
+from repro.exceptions import DisconnectedRouteError, RoadNetworkError
+from repro.roadnet import RoadNetwork, dijkstra_route, k_shortest_routes, route_length
+from repro.roadnet.shortest_path import (
+    route_travel_time,
+    shortest_path_cost,
+    travel_time_cost,
+)
+
+
+def test_dijkstra_prefers_direct_route(line_network):
+    route = dijkstra_route(line_network, 0, 2)
+    assert route == [0, 1, 2]
+
+
+def test_dijkstra_same_segment(line_network):
+    assert dijkstra_route(line_network, 1, 1) == [1]
+
+
+def test_dijkstra_respects_banned_segments(line_network):
+    route = dijkstra_route(line_network, 0, 2, banned_segments={1})
+    assert route == [0, 3, 4, 2]
+
+
+def test_dijkstra_unknown_segment(line_network):
+    with pytest.raises(RoadNetworkError):
+        dijkstra_route(line_network, 0, 99)
+
+
+def test_dijkstra_disconnected():
+    network = RoadNetwork()
+    for node_id, (x, y) in enumerate([(0, 0), (10, 0), (20, 0), (30, 0)]):
+        network.add_intersection(node_id, x, y)
+    network.add_segment(0, 0, 1)
+    network.add_segment(1, 2, 3)
+    with pytest.raises(DisconnectedRouteError):
+        dijkstra_route(network, 0, 1)
+
+
+def test_route_length_and_travel_time(line_network):
+    route = [0, 1, 2]
+    assert route_length(line_network, route) == pytest.approx(300.0)
+    assert route_travel_time(line_network, route) > 0
+
+
+def test_shortest_path_cost_excludes_source(line_network):
+    cost = shortest_path_cost(line_network, 0, 2)
+    assert cost == pytest.approx(200.0)
+
+
+def test_travel_time_cost_function(line_network):
+    segment = line_network.segment(0)
+    assert travel_time_cost(segment) == pytest.approx(segment.travel_time_s)
+
+
+def test_k_shortest_routes_returns_distinct_loopless_routes(line_network):
+    routes = k_shortest_routes(line_network, 0, 2, k=3)
+    assert routes[0] == [0, 1, 2]
+    assert [0, 3, 4, 2] in routes
+    assert len({tuple(r) for r in routes}) == len(routes)
+    for route in routes:
+        assert line_network.is_route_connected(route)
+        assert len(set(route)) == len(route)
+
+
+def test_k_shortest_routes_ordered_by_cost(grid_network):
+    ids = grid_network.segment_ids()
+    routes = k_shortest_routes(grid_network, ids[0], ids[-1], k=3)
+    lengths = [route_length(grid_network, r) for r in routes]
+    assert lengths == sorted(lengths)
+
+
+def test_k_shortest_routes_k_must_be_positive(line_network):
+    with pytest.raises(RoadNetworkError):
+        k_shortest_routes(line_network, 0, 2, k=0)
+
+
+def test_k_shortest_routes_unreachable_returns_empty():
+    network = RoadNetwork()
+    for node_id, (x, y) in enumerate([(0, 0), (10, 0), (20, 0), (30, 0)]):
+        network.add_intersection(node_id, x, y)
+    network.add_segment(0, 0, 1)
+    network.add_segment(1, 2, 3)
+    assert k_shortest_routes(network, 0, 1, k=2) == []

@@ -1,0 +1,127 @@
+"""Tests of SD-pair grouping, time slots and trajectory similarity measures."""
+
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory import (
+    MatchedTrajectory,
+    SDPairIndex,
+    discrete_frechet,
+    edit_distance_routes,
+    group_by_sd_pair,
+    jaccard_similarity,
+    lcss_similarity,
+    time_slot_of,
+)
+from repro.trajectory.similarity import discrete_frechet_points
+
+import numpy as np
+
+
+def make(tid, segments, start=0.0):
+    return MatchedTrajectory(trajectory_id=tid, segments=segments,
+                             start_time_s=start)
+
+
+# ---------------------------------------------------------------- time slots
+def test_time_slot_of_hours():
+    assert time_slot_of(0.0) == 0
+    assert time_slot_of(3600.0 * 9 + 10) == 9
+    assert time_slot_of(3600.0 * 23.9) == 23
+
+
+def test_time_slot_wraps_around_midnight():
+    assert time_slot_of(86400.0 + 3600.0) == 1
+
+
+def test_time_slot_custom_granularity():
+    assert time_slot_of(3600.0 * 13, slots_per_day=4) == 2
+
+
+def test_time_slot_rejects_bad_slots():
+    with pytest.raises(TrajectoryError):
+        time_slot_of(0.0, slots_per_day=0)
+
+
+# ------------------------------------------------------------------ grouping
+def test_group_by_sd_pair_groups_by_endpoints_and_slot():
+    trajectories = [
+        make(1, [1, 2, 3], start=0.0),
+        make(2, [1, 5, 3], start=100.0),
+        make(3, [1, 2, 3], start=3600.0 * 5),
+        make(4, [9, 2, 3], start=0.0),
+    ]
+    groups = group_by_sd_pair(trajectories)
+    sizes = sorted(len(g) for g in groups.values())
+    assert sizes == [1, 1, 2]
+
+
+def test_sd_pair_index_queries():
+    trajectories = [make(i, [1, 2, 3], start=i * 10.0) for i in range(5)]
+    trajectories += [make(10 + i, [4, 2, 6], start=i * 10.0) for i in range(3)]
+    index = SDPairIndex(trajectories)
+    assert len(index) == 8
+    assert index.sd_pairs() == [(1, 3), (4, 6)]
+    assert len(index.group(1, 3)) == 5
+    assert index.pair_sizes()[(4, 6)] == 3
+    assert len(index.group_for(trajectories[0])) == 5
+
+
+def test_sd_pair_index_filter_pairs():
+    trajectories = [make(i, [1, 2, 3]) for i in range(5)]
+    trajectories += [make(10, [4, 2, 6])]
+    filtered = SDPairIndex(trajectories).filter_pairs(min_trajectories=3)
+    assert filtered.sd_pairs() == [(1, 3)]
+
+
+def test_sd_pair_index_drop_fraction_keeps_at_least_one():
+    trajectories = [make(i, [1, 2, 3]) for i in range(10)]
+    dropped = SDPairIndex(trajectories).drop_fraction(0.8, seed=0)
+    assert 1 <= len(dropped.group(1, 3)) <= 3
+
+
+def test_drop_fraction_rejects_bad_rate():
+    index = SDPairIndex([make(1, [1, 2, 3])])
+    with pytest.raises(TrajectoryError):
+        index.drop_fraction(1.0)
+
+
+# ---------------------------------------------------------------- similarity
+def test_jaccard_similarity():
+    assert jaccard_similarity([1, 2, 3], [1, 2, 3]) == 1.0
+    assert jaccard_similarity([1, 2], [3, 4]) == 0.0
+    assert jaccard_similarity([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+
+
+def test_lcss_similarity():
+    assert lcss_similarity([1, 2, 3, 4], [1, 2, 3, 4]) == 1.0
+    assert lcss_similarity([1, 2, 3, 4], [1, 9, 3, 8]) == pytest.approx(0.5)
+    with pytest.raises(TrajectoryError):
+        lcss_similarity([], [1])
+
+
+def test_edit_distance_routes():
+    assert edit_distance_routes([1, 2, 3], [1, 2, 3]) == 0
+    assert edit_distance_routes([1, 2, 3], [1, 5, 3]) == 1
+    assert edit_distance_routes([], [1, 2]) == 2
+    assert edit_distance_routes([1, 2], []) == 2
+
+
+def test_discrete_frechet_points_identity_and_symmetry():
+    a = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+    b = np.array([[0.0, 1.0], [1.0, 1.0], [2.0, 1.0]])
+    assert discrete_frechet_points(a, a) == 0.0
+    assert discrete_frechet_points(a, b) == pytest.approx(1.0)
+    assert discrete_frechet_points(a, b) == pytest.approx(discrete_frechet_points(b, a))
+
+
+def test_discrete_frechet_on_network_routes(line_network):
+    direct = [0, 1, 2]
+    bypass = [0, 3, 4, 2]
+    assert discrete_frechet(direct, direct, line_network) == 0.0
+    assert discrete_frechet(direct, bypass, line_network) > 0.0
+
+
+def test_discrete_frechet_rejects_empty(line_network):
+    with pytest.raises(TrajectoryError):
+        discrete_frechet([], [0], line_network)
