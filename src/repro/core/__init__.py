@@ -16,6 +16,9 @@
   enhancements.
 * :class:`~repro.core.online.OnlineLearner` — the online learning strategy
   used to handle concept drift (RL4OASD-FT in the paper).
+* :class:`~repro.core.stream.StreamEngine` — fleet-scale batched streaming
+  detection: N concurrent vehicle streams multiplexed through one vectorized
+  forward pass per tick, label-identical to :class:`OnlineDetector`.
 """
 
 from .rsrnet import RSRNet, RSRNetStepState
@@ -24,6 +27,7 @@ from .rewards import global_reward, local_reward
 from .rl4oasd import RL4OASDModel, RL4OASDTrainer, TrainingReport
 from .detector import DetectionResult, OnlineDetector
 from .online import OnlineLearner
+from .stream import SegmentFeatureCache, StreamEngine, replay_fleet
 
 __all__ = [
     "RSRNet",
@@ -37,4 +41,7 @@ __all__ = [
     "OnlineDetector",
     "DetectionResult",
     "OnlineLearner",
+    "SegmentFeatureCache",
+    "StreamEngine",
+    "replay_fleet",
 ]

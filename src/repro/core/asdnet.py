@@ -133,6 +133,29 @@ class ASDNet(Module):
         probabilities, _ = self.action_probabilities(state)
         return int(np.argmax(probabilities))
 
+    def policy_logits_batch(self, z: np.ndarray,
+                            previous_labels: Sequence[int]) -> np.ndarray:
+        """Policy logits for a batch of MDP states, shape ``(B, 2)``.
+
+        ``z`` holds one RSRNet representation per row (``(B, repr_dim)``) and
+        ``previous_labels`` the label of each stream's previous segment. This
+        is the inference-only batched counterpart of :meth:`greedy_action`
+        used by the fleet stream engine; no backward caches are built.
+        """
+        z = np.asarray(z, dtype=np.float64)
+        if z.ndim != 2 or z.shape[1] != self.representation_dim:
+            raise ModelError(
+                f"representations must have shape (B, {self.representation_dim}), "
+                f"got {z.shape}")
+        previous_labels = np.asarray(previous_labels, dtype=np.int64)
+        if previous_labels.size and (previous_labels.min() < 0
+                                     or previous_labels.max() > 1):
+            raise ModelError("previous labels must be 0 or 1")
+        label_vectors = self.label_embedding.vectors(previous_labels)
+        states = np.concatenate([z, label_vectors], axis=1)
+        logits, _ = self.policy(states)
+        return logits
+
     def action_probability(self, z: np.ndarray, previous_label: int) -> np.ndarray:
         """Action distribution for one state (used by tests and diagnostics)."""
         state, _ = self.build_state(z, previous_label)

@@ -46,6 +46,22 @@ class DetectionResult:
         return float(sum(self.per_point_seconds))
 
 
+def rnel_from_degrees(out_degree: int, in_degree: int,
+                      previous_label: int) -> Optional[int]:
+    """The RNEL rules given precomputed degrees (see :func:`apply_rnel`).
+
+    Split out so callers that cache road-segment degrees (the fleet stream
+    engine) can apply the same rules without re-querying the road network.
+    """
+    if out_degree == 1 and in_degree == 1:
+        return previous_label
+    if out_degree == 1 and in_degree > 1 and previous_label == 0:
+        return 0
+    if out_degree > 1 and in_degree == 1 and previous_label == 1:
+        return 1
+    return None
+
+
 def apply_rnel(network: RoadNetwork, previous_segment: int, current_segment: int,
                previous_label: int) -> Optional[int]:
     """Road Network Enhanced Labeling: deterministic label when a rule applies.
@@ -57,15 +73,9 @@ def apply_rnel(network: RoadNetwork, previous_segment: int, current_segment: int
     2. ``e_{i-1}.out == 1``, ``e_i.in > 1`` and previous label 0 → label 0;
     3. ``e_{i-1}.out > 1``, ``e_i.in == 1`` and previous label 1 → label 1.
     """
-    out_degree = network.out_degree(previous_segment)
-    in_degree = network.in_degree(current_segment)
-    if out_degree == 1 and in_degree == 1:
-        return previous_label
-    if out_degree == 1 and in_degree > 1 and previous_label == 0:
-        return 0
-    if out_degree > 1 and in_degree == 1 and previous_label == 1:
-        return 1
-    return None
+    return rnel_from_degrees(network.out_degree(previous_segment),
+                             network.in_degree(current_segment),
+                             previous_label)
 
 
 def apply_delayed_labeling(labels: Sequence[int], window: int) -> List[int]:

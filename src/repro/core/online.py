@@ -76,7 +76,7 @@ class OnlineLearner:
         """A detector using the current (possibly fine-tuned) model."""
         if self._model is None:
             raise ModelError("call initial_fit() before requesting a detector")
-        return self._trainer.model().detector(greedy=greedy, seed=seed)
+        return self._model.detector(greedy=greedy, seed=seed)
 
     def training_time_by_part(self) -> Dict[int, float]:
         """Seconds spent fine-tuning per part (Figure 6d)."""

@@ -74,6 +74,16 @@ class RL4OASDModel:
             seed=seed,
         )
 
+    def stream_engine(self, **overrides) -> "StreamEngine":
+        """A fleet-scale batched stream engine using this model.
+
+        Produces labels identical to :meth:`detector` while multiplexing many
+        concurrent vehicle streams through one batched forward pass per tick.
+        """
+        from .stream import StreamEngine
+
+        return StreamEngine.from_model(self, **overrides)
+
 
 class RL4OASDTrainer:
     """Trains RL4OASD without labeled data (noisy labels + iterative refinement).

@@ -162,6 +162,39 @@ class RSRNet(Module):
         z = np.concatenate([hidden, nrf_vector])
         return z, RSRNetStepState(hidden=hidden, cell=cell)
 
+    def input_projection(self, token: int) -> np.ndarray:
+        """The LSTM input projection of one segment token, shape ``(4 * H,)``.
+
+        This is a pure function of the model weights and the token, so fleet
+        engines cache it per road segment and share it across streams.
+        """
+        return self.lstm.cell.project_input(self.segment_embedding.vector(token))
+
+    def step_batch(
+        self,
+        hidden: np.ndarray,
+        cell: np.ndarray,
+        input_projections: np.ndarray,
+        nrf: Sequence[int],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance a batch of independent recurrent states by one segment each.
+
+        ``hidden`` and ``cell`` have shape ``(B, hidden_dim)``,
+        ``input_projections`` holds :meth:`input_projection` of each stream's
+        new segment (``(B, 4 * hidden_dim)``) and ``nrf`` the per-stream
+        normal route features. Returns ``(z, new_hidden, new_cell)`` with
+        ``z`` of shape ``(B, hidden_dim + nrf_dim)``. This is the batched
+        counterpart of :meth:`step` used by the fleet stream engine.
+        """
+        nrf = np.asarray(nrf, dtype=np.int64)
+        if nrf.size and (nrf.min() < 0 or nrf.max() > 1):
+            raise ModelError("normal route features must be 0 or 1")
+        new_hidden, new_cell = self.lstm.cell.forward_batch(
+            input_projections, hidden, cell)
+        nrf_vectors = self.nrf_embedding.vectors(nrf)
+        z = np.concatenate([new_hidden, nrf_vectors], axis=1)
+        return z, new_hidden, new_cell
+
     def classify_representation(self, z: np.ndarray) -> np.ndarray:
         """Class probabilities for one representation vector ``z_i``."""
         logits, _ = self.classifier(z)

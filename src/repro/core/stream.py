@@ -1,0 +1,553 @@
+"""Fleet-scale batched streaming detection.
+
+:class:`OnlineDetector` serves one trajectory at a time, one point per step —
+fine for replaying a single trip, hopeless for the paper's motivating
+scenario of a ride-hailing platform watching an entire fleet at once.
+:class:`StreamEngine` multiplexes N concurrent vehicle streams over one
+RL4OASD model:
+
+* **Batching tick.** Every stream buffers its newest GPS-matched segment;
+  :meth:`StreamEngine.tick` gathers the pending next point of every active
+  stream and pushes them through a *single* vectorized RSRNet + ASDNet
+  forward pass (:meth:`RSRNet.step_batch` / :meth:`ASDNet.policy_logits_batch`),
+  so the two LSTM matmuls and the policy matmul run once per tick instead of
+  once per vehicle.
+* **Per-stream state.** Each stream keeps exactly what Algorithm 1 needs
+  incrementally: the LSTM hidden/cell state, the labels emitted so far (for
+  RNEL and the policy's previous-label input), and the SD pair's normal-route
+  transition set. Delayed labeling runs at :meth:`finalize`, identical to the
+  single-stream detector.
+* **Segment feature cache.** The per-road-segment quantities — vocabulary
+  token, the LSTM input projection ``x_e @ W_in``, and the in/out degrees
+  used by RNEL — depend only on the model weights and the road network, so
+  they are computed once and shared across the fleet through an LRU cache
+  (:class:`SegmentFeatureCache`). A fleet revisiting the same arterial roads
+  hits the cache almost always.
+
+**Label equivalence.** The engine is differential-tested to produce labels
+identical to :class:`OnlineDetector`. Two details make that possible:
+
+1. A point is labeled only once the *next* point of its stream has arrived
+   (or the stream is finalized), so the engine knows whether the point is the
+   trip's destination — exactly the information Algorithm 1 consumes.
+2. Normal routes are per SD pair, so the destination must be declared when
+   the stream opens (in ride hailing it is: the rider entered it). Streams
+   whose SD pair has no history — where the reference detector falls back to
+   treating the trajectory's own route as normal — degrade to *deferred*
+   mode: points buffer and are processed through the same batched tick at
+   :meth:`finalize`, when the full route is known.
+
+A stream whose destination is *not* declared up front always runs deferred.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, Hashable, List, NamedTuple, Optional,
+                    Sequence, Set, Tuple, TYPE_CHECKING)
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..labeling.features import PreprocessingPipeline
+from ..labeling.normal_routes import normal_transitions
+from ..nn.losses import softmax
+from ..trajectory.models import MatchedTrajectory
+from ..trajectory.ops import split_by_labels
+from .asdnet import ASDNet
+from .detector import DetectionResult, apply_delayed_labeling, rnel_from_degrees
+from .rsrnet import RSRNet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .rl4oasd import RL4OASDModel
+
+
+class SegmentRecord(NamedTuple):
+    """Per-road-segment features shared by every stream that crosses it."""
+
+    token: int
+    input_projection: np.ndarray
+    in_degree: int
+    out_degree: int
+
+
+class SegmentFeatureCache:
+    """A small LRU cache of :class:`SegmentRecord` keyed by segment id."""
+
+    def __init__(self, max_size: int = 4096):
+        if max_size < 1:
+            raise ModelError("the segment feature cache needs max_size >= 1")
+        self._max_size = max_size
+        self._records: "OrderedDict[int, SegmentRecord]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def max_size(self) -> int:
+        return self._max_size
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, segment_id: int,
+            compute: Callable[[int], SegmentRecord]) -> SegmentRecord:
+        record = self._records.get(segment_id)
+        if record is not None:
+            self._records.move_to_end(segment_id)
+            self.hits += 1
+            return record
+        self.misses += 1
+        record = compute(segment_id)
+        self._records[segment_id] = record
+        if len(self._records) > self._max_size:
+            self._records.popitem(last=False)
+        return record
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+@dataclass
+class _StreamState:
+    """Everything the engine tracks for one in-flight vehicle stream."""
+
+    vehicle_id: Hashable
+    trajectory_id: int
+    start_time_s: float
+    destination: Optional[int]
+    slot: int
+    segments: List[int] = field(default_factory=list)
+    labels: List[int] = field(default_factory=list)
+    processed: int = 0
+    normal_transitions: Optional[Set[Tuple[int, int]]] = None
+    deferred: bool = False
+    finalizing: bool = False
+    previous_record: Optional[SegmentRecord] = None
+    per_point_seconds: List[float] = field(default_factory=list)
+    rng: Optional[np.random.Generator] = None
+
+
+class StreamEngine:
+    """Batched online detection over many concurrent vehicle streams.
+
+    Feed points with :meth:`ingest`, advance the fleet with :meth:`tick`
+    (one batched forward pass labeling the pending point of every eligible
+    stream), and close a trip with :meth:`finalize`, which returns the same
+    :class:`DetectionResult` the single-stream :class:`OnlineDetector` would.
+    """
+
+    def __init__(
+        self,
+        rsrnet: RSRNet,
+        asdnet: ASDNet,
+        pipeline: PreprocessingPipeline,
+        use_rnel: bool = True,
+        use_delayed_labeling: bool = True,
+        delay_window: int = 8,
+        greedy: bool = True,
+        seed: int = 0,
+        cache_size: int = 4096,
+        record_timing: bool = False,
+    ):
+        # With greedy=False every stream gets its own Generator seeded with
+        # `seed`, so each trip samples exactly like a fresh
+        # OnlineDetector(greedy=False, seed=seed) would — that is the
+        # equivalence contract the differential tests pin down. It also means
+        # same-route streams draw identical tapes; they are reproducible
+        # replicas, not independent samples.
+        self._rsrnet = rsrnet
+        self._asdnet = asdnet
+        self._pipeline = pipeline
+        self._network = pipeline.network
+        self._use_rnel = use_rnel
+        self._use_delayed_labeling = use_delayed_labeling
+        self._delay_window = delay_window
+        self._greedy = greedy
+        self._seed = seed
+        self._record_timing = record_timing
+        self._cache = SegmentFeatureCache(cache_size)
+        self._streams: "OrderedDict[Hashable, _StreamState]" = OrderedDict()
+        self._next_trajectory_id = 0
+        self._hidden_dim = rsrnet.config.hidden_dim
+        # Recurrent state lives in slot-indexed pools so a tick gathers and
+        # writes back the whole batch with two fancy-indexing operations
+        # instead of stacking per-stream vectors.
+        self._capacity = 64
+        self._hidden_pool = np.zeros((self._capacity, self._hidden_dim))
+        self._cell_pool = np.zeros((self._capacity, self._hidden_dim))
+        self._free_slots = list(range(self._capacity))
+
+    @classmethod
+    def from_model(cls, model: "RL4OASDModel", **overrides) -> "StreamEngine":
+        """An engine configured exactly like ``model.detector()``."""
+        options = dict(
+            use_rnel=model.training_config.use_rnel,
+            use_delayed_labeling=model.training_config.use_delayed_labeling,
+            delay_window=model.training_config.delayed_labeling_window,
+        )
+        options.update(overrides)
+        return cls(model.rsrnet, model.asdnet, model.pipeline, **options)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def active_vehicles(self) -> List[Hashable]:
+        return list(self._streams)
+
+    @property
+    def cache(self) -> SegmentFeatureCache:
+        return self._cache
+
+    def pending_points(self, vehicle_id: Hashable) -> int:
+        """Points ingested but not yet labeled for one stream."""
+        stream = self._stream(vehicle_id)
+        return len(stream.segments) - stream.processed
+
+    def invalidate_cache(self) -> None:
+        """Drop cached segment features (call after fine-tuning the model)."""
+        self._cache.clear()
+
+    # -------------------------------------------------------------- ingestion
+    def ingest(
+        self,
+        vehicle_id: Hashable,
+        segment: int,
+        destination: Optional[int] = None,
+        start_time_s: float = 0.0,
+        trajectory_id: Optional[int] = None,
+    ) -> None:
+        """Record the newest map-matched segment of one vehicle's trip.
+
+        The first ingest for an unknown ``vehicle_id`` opens the stream;
+        ``destination`` / ``start_time_s`` / ``trajectory_id`` are only read
+        then. Declaring the destination lets the stream be labeled online,
+        point by point; without it the stream runs in deferred mode and is
+        labeled (still through the batched path) at :meth:`finalize`.
+
+        Unknown segments are rejected here (``LabelingError``) before they
+        enter the stream, so one vehicle's bad fix never poisons a batched
+        tick for the rest of the fleet.
+        """
+        self._validate_segment(segment)
+        stream = self._streams.get(vehicle_id)
+        if stream is None:
+            if destination is not None:
+                self._validate_segment(destination)
+            stream = self._open(vehicle_id, segment, destination,
+                                start_time_s, trajectory_id)
+        elif stream.finalizing:
+            raise ModelError(
+                f"stream {vehicle_id!r} is finalized; open a new stream")
+        stream.segments.append(segment)
+
+    def _open(
+        self,
+        vehicle_id: Hashable,
+        first_segment: int,
+        destination: Optional[int],
+        start_time_s: float,
+        trajectory_id: Optional[int],
+    ) -> _StreamState:
+        if trajectory_id is None:
+            trajectory_id = self._next_trajectory_id
+        self._next_trajectory_id += 1
+        stream = _StreamState(
+            vehicle_id=vehicle_id,
+            trajectory_id=trajectory_id,
+            start_time_s=start_time_s,
+            destination=destination,
+            slot=self._allocate_slot(),
+        )
+        if not self._greedy:
+            stream.rng = np.random.default_rng(self._seed)
+        if destination is None:
+            stream.deferred = True
+        else:
+            group = self._pipeline.sd_group(first_segment, destination,
+                                            start_time_s)
+            if group:
+                # Resolving through the pipeline keeps its normal-route cache
+                # in exactly the state a reference detection would leave it.
+                probe_segments = ([first_segment] if first_segment == destination
+                                  else [first_segment, destination])
+                probe = MatchedTrajectory(trajectory_id, probe_segments,
+                                          start_time_s=start_time_s)
+                routes = self._pipeline.normal_routes_for(probe)
+                stream.normal_transitions = normal_transitions(routes)
+            else:
+                # No history for this SD pair: the reference falls back to
+                # treating the trajectory's own route as normal, which is only
+                # known at finalize — run deferred.
+                stream.deferred = True
+        self._streams[vehicle_id] = stream
+        return stream
+
+    def _validate_segment(self, segment: int) -> None:
+        # Reject unknown segments at the door: surfacing this inside tick()
+        # would stall every stream in the fleet on one vehicle's bad fix.
+        self._pipeline.vocabulary.token(segment)
+
+    def _allocate_slot(self) -> int:
+        if not self._free_slots:
+            grown = self._capacity * 2
+            self._hidden_pool = np.vstack(
+                [self._hidden_pool, np.zeros((self._capacity, self._hidden_dim))])
+            self._cell_pool = np.vstack(
+                [self._cell_pool, np.zeros((self._capacity, self._hidden_dim))])
+            self._free_slots.extend(range(self._capacity, grown))
+            self._capacity = grown
+        slot = self._free_slots.pop()
+        self._hidden_pool[slot] = 0.0
+        self._cell_pool[slot] = 0.0
+        return slot
+
+
+    # ------------------------------------------------------------------ tick
+    def _eligible_index(self, stream: _StreamState) -> Optional[int]:
+        """Index of the next point this stream may label, or ``None``.
+
+        A point is eligible once a later point proves it is not the trip's
+        destination, or once the stream is finalizing (then the last point is
+        labeled *as* the destination).
+        """
+        if stream.finalizing:
+            return stream.processed if stream.processed < len(stream.segments) else None
+        if stream.deferred:
+            return None
+        if stream.processed < len(stream.segments) - 1:
+            return stream.processed
+        return None
+
+    def _segment_record(self, segment_id: int) -> SegmentRecord:
+        token = self._pipeline.vocabulary.token(segment_id)
+        return SegmentRecord(
+            token=token,
+            input_projection=self._rsrnet.input_projection(token),
+            in_degree=self._network.in_degree(segment_id),
+            out_degree=self._network.out_degree(segment_id),
+        )
+
+    def tick(self) -> int:
+        """Label the pending next point of every eligible stream, batched.
+
+        Returns the number of points processed (0 when nothing is eligible).
+        Each stream advances at most one point per tick, so a stream's labels
+        never depend on how the fleet's arrivals interleave.
+        """
+        started = time.perf_counter() if self._record_timing else 0.0
+        work: List[Tuple[_StreamState, int, SegmentRecord, int]] = []
+        for stream in self._streams.values():
+            index = self._eligible_index(stream)
+            if index is None:
+                continue
+            segment = stream.segments[index]
+            record = self._cache.get(segment, self._segment_record)
+            nrf = self._normal_route_feature(stream, index, segment)
+            work.append((stream, index, record, nrf))
+        if not work:
+            return 0
+
+        slots = [stream.slot for stream, _, _, _ in work]
+        input_projections = np.stack([record.input_projection
+                                      for _, _, record, _ in work])
+        nrf_values = [nrf for _, _, _, nrf in work]
+        z, new_hidden, new_cell = self._rsrnet.step_batch(
+            self._hidden_pool[slots], self._cell_pool[slots],
+            input_projections, nrf_values)
+        self._hidden_pool[slots] = new_hidden
+        self._cell_pool[slots] = new_cell
+
+        undecided: List[int] = []
+        labels: List[Optional[int]] = []
+        for row, (stream, index, record, _) in enumerate(work):
+            label = self._deterministic_label(stream, index, record)
+            labels.append(label)
+            if label is None:
+                undecided.append(row)
+
+        if undecided:
+            logits = self._asdnet.policy_logits_batch(
+                z[undecided],
+                [work[row][0].labels[-1] for row in undecided])
+            # Row-wise softmax then argmax mirrors the scalar detector's
+            # decision rule (argmax over probabilities, ties to label 0).
+            probabilities = softmax(logits, axis=1)
+            if self._greedy:
+                actions = np.argmax(probabilities, axis=1)
+                for position, row in enumerate(undecided):
+                    labels[row] = int(actions[position])
+            else:
+                for position, row in enumerate(undecided):
+                    labels[row] = int(work[row][0].rng.choice(
+                        ASDNet.NUM_ACTIONS, p=probabilities[position]))
+
+        share = ((time.perf_counter() - started) / len(work)
+                 if self._record_timing else 0.0)
+        for row, (stream, index, record, _) in enumerate(work):
+            stream.labels.append(labels[row])
+            stream.processed = index + 1
+            stream.previous_record = record
+            if self._record_timing:
+                stream.per_point_seconds.append(share)
+        return len(work)
+
+    def _normal_route_feature(self, stream: _StreamState, index: int,
+                              segment: int) -> int:
+        if index == 0:
+            return 0
+        if stream.finalizing and index == len(stream.segments) - 1:
+            return 0  # The destination is normal by definition.
+        transition = (stream.segments[index - 1], segment)
+        return 0 if transition in stream.normal_transitions else 1
+
+    def _deterministic_label(self, stream: _StreamState, index: int,
+                             record: SegmentRecord) -> Optional[int]:
+        """The forced/RNEL label of a point, or ``None`` for the policy."""
+        if index == 0:
+            return 0
+        if stream.finalizing and index == len(stream.segments) - 1:
+            return 0
+        if self._use_rnel:
+            return rnel_from_degrees(stream.previous_record.out_degree,
+                                     record.in_degree, stream.labels[-1])
+        return None
+
+    # -------------------------------------------------------------- finalize
+    def finalize(self, vehicle_id: Hashable) -> DetectionResult:
+        """Close a stream: drain its remaining points, return the result.
+
+        Draining runs through :meth:`tick`, so other eligible streams keep
+        advancing (and batching) alongside the one being closed. To close
+        several trips that finish together, prefer :meth:`finalize_many`,
+        which drains them through shared (larger) batches.
+
+        Labels, spans and timing match :class:`OnlineDetector` exactly; the
+        result's ``trajectory`` is reconstructed from the ingested points, so
+        it carries no ground-truth labels or travel times (the engine never
+        saw them — :func:`replay_fleet` reattaches the caller's originals).
+        """
+        return self.finalize_many([vehicle_id])[0]
+
+    def finalize_many(
+        self, vehicle_ids: Sequence[Hashable]
+    ) -> List[DetectionResult]:
+        """Close several streams at once, draining them in shared batches."""
+        if len(set(vehicle_ids)) != len(vehicle_ids):
+            raise ModelError("finalize_many got duplicate vehicle ids")
+        streams = [self._stream(vehicle_id) for vehicle_id in vehicle_ids]
+        for stream in streams:
+            self._check_finalizable(stream)
+        for stream in streams:
+            self._begin_finalize(stream)
+        while any(stream.processed < len(stream.segments) for stream in streams):
+            if self.tick() == 0:  # pragma: no cover - defensive
+                raise ModelError("stream drain made no progress")
+        return [self._complete(stream) for stream in streams]
+
+    def _check_finalizable(self, stream: _StreamState) -> None:
+        if stream.finalizing:
+            raise ModelError(
+                f"stream {stream.vehicle_id!r} is already finalized")
+        if (stream.destination is not None
+                and stream.segments[-1] != stream.destination):
+            # The stream stays open: the trip may simply not be over yet, so
+            # the caller can keep ingesting until the destination is reached.
+            raise ModelError(
+                f"stream {stream.vehicle_id!r} declared destination "
+                f"{stream.destination} but currently ends on segment "
+                f"{stream.segments[-1]}; a declared destination must be the "
+                "trip's final segment (normal routes were resolved for it)")
+
+    def _begin_finalize(self, stream: _StreamState) -> None:
+        stream.finalizing = True
+        if stream.normal_transitions is None:
+            # Deferred stream: the full route is now known, so resolve normal
+            # routes exactly like the reference detector would (including the
+            # fall-back to the trajectory's own route when the SD pair has no
+            # history, and the pipeline-cache fill that goes with it).
+            trajectory = MatchedTrajectory(
+                stream.trajectory_id, list(stream.segments),
+                start_time_s=stream.start_time_s)
+            routes = self._pipeline.normal_routes_for(trajectory)
+            stream.normal_transitions = normal_transitions(routes)
+
+    def _complete(self, stream: _StreamState) -> DetectionResult:
+        del self._streams[stream.vehicle_id]
+        self._free_slots.append(stream.slot)
+        labels = stream.labels
+        if self._use_delayed_labeling:
+            labels = apply_delayed_labeling(labels, self._delay_window)
+            # The source and destination stay normal by definition.
+            labels[0] = 0
+            labels[-1] = 0
+        trajectory = MatchedTrajectory(
+            stream.trajectory_id, list(stream.segments),
+            start_time_s=stream.start_time_s)
+        return DetectionResult(
+            trajectory=trajectory,
+            labels=labels,
+            subtrajectories=split_by_labels(trajectory, labels),
+            per_point_seconds=stream.per_point_seconds,
+        )
+
+    def _stream(self, vehicle_id: Hashable) -> _StreamState:
+        try:
+            return self._streams[vehicle_id]
+        except KeyError:
+            raise ModelError(f"no active stream for vehicle {vehicle_id!r}") from None
+
+
+def replay_fleet(
+    engine: StreamEngine,
+    trajectories: Sequence[MatchedTrajectory],
+    concurrency: int = 64,
+) -> List[DetectionResult]:
+    """Replay trajectories as a fleet of concurrent streams, in lockstep.
+
+    Up to ``concurrency`` trips are in flight at once; each round ingests one
+    point per active vehicle and runs one batched :meth:`StreamEngine.tick`.
+    Finished trips are finalized (freeing their slot) and their results are
+    returned in the input order. Each result carries the *original*
+    trajectory object (the engine itself only ever sees raw points, so
+    :meth:`StreamEngine.finalize` has to reconstruct one without ground-truth
+    labels or travel times — here the caller's object is reattached).
+    """
+    if concurrency < 1:
+        raise ModelError("concurrency must be positive")
+    results: List[Optional[DetectionResult]] = [None] * len(trajectories)
+    backlog = list(enumerate(trajectories))
+    backlog.reverse()  # pop() from the end preserves input order
+    active: Dict[int, Tuple[int, int]] = {}  # vehicle -> (result index, cursor)
+    next_vehicle = 0
+    while backlog or active:
+        while backlog and len(active) < concurrency:
+            index, trajectory = backlog.pop()
+            vehicle = next_vehicle
+            next_vehicle += 1
+            engine.ingest(vehicle, trajectory.segments[0],
+                          destination=trajectory.destination,
+                          start_time_s=trajectory.start_time_s,
+                          trajectory_id=trajectory.trajectory_id)
+            active[vehicle] = (index, 1)
+        finished: List[int] = []
+        for vehicle, (index, cursor) in active.items():
+            trajectory = trajectories[index]
+            if cursor < len(trajectory.segments):
+                engine.ingest(vehicle, trajectory.segments[cursor])
+                active[vehicle] = (index, cursor + 1)
+            else:
+                finished.append(vehicle)
+        engine.tick()
+        if finished:
+            for vehicle, result in zip(finished,
+                                       engine.finalize_many(finished)):
+                index, _ = active.pop(vehicle)
+                result.trajectory = trajectories[index]
+                results[index] = result
+    return results  # type: ignore[return-value]

@@ -2,7 +2,8 @@
 
 from .metrics import MetricsReport, evaluate_labelings, span_jaccard
 from .grouping import group_by_length, LENGTH_BOUNDARIES
-from .timing import TimingReport, measure_detector
+from .timing import (ThroughputReport, TimingReport, measure_detector,
+                     measure_throughput)
 from .runner import EvaluationRun, evaluate_detector
 
 __all__ = [
@@ -13,6 +14,8 @@ __all__ = [
     "LENGTH_BOUNDARIES",
     "TimingReport",
     "measure_detector",
+    "ThroughputReport",
+    "measure_throughput",
     "EvaluationRun",
     "evaluate_detector",
 ]

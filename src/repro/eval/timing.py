@@ -1,10 +1,12 @@
-"""Timing harnesses for the efficiency experiments (Figures 3 and 4)."""
+"""Timing harnesses for the efficiency experiments (Figures 3 and 4) and the
+fleet-throughput comparison between the single-stream detector and the batched
+stream engine."""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -63,3 +65,65 @@ def measure_detector(
         per_point.append(elapsed / max(1, len(trajectory)))
     return TimingReport(detector_name=name, per_point_seconds=per_point,
                         per_trajectory_seconds=per_trajectory)
+
+
+@dataclass
+class ThroughputReport:
+    """Points-per-second throughput of one detection strategy over a workload."""
+
+    name: str
+    total_points: int
+    total_seconds: float
+    num_trajectories: int = 0
+
+    @property
+    def points_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.total_points / self.total_seconds
+
+    def speedup_over(self, other: "ThroughputReport") -> float:
+        """How many times faster this strategy is than ``other``."""
+        if other.points_per_second <= 0.0:
+            return float("inf")
+        return self.points_per_second / other.points_per_second
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "total_points": self.total_points,
+            "num_trajectories": self.num_trajectories,
+            "total_seconds": self.total_seconds,
+            "points_per_second": self.points_per_second,
+        }
+
+    def format(self) -> str:
+        trips = (f" from {self.num_trajectories} trips"
+                 if self.num_trajectories else "")
+        return (f"{self.name}: {self.total_points} points{trips} in "
+                f"{self.total_seconds:.3f}s = "
+                f"{self.points_per_second:,.0f} points/sec")
+
+
+def measure_throughput(
+    run: Callable[[], object],
+    total_points: int,
+    name: str = "detector",
+    num_trajectories: int = 0,
+) -> Tuple[ThroughputReport, object]:
+    """Wall-clock ``run()`` (which must process ``total_points`` points).
+
+    Returns ``(report, run's return value)``, so the workload's results stay
+    available without closure tricks. Used to compare the per-trajectory
+    :class:`OnlineDetector` loop against the batched
+    :class:`~repro.core.stream.StreamEngine` on the same workload.
+    """
+    if total_points < 1:
+        raise EvaluationError("throughput needs at least one point")
+    started = time.perf_counter()
+    value = run()
+    elapsed = time.perf_counter() - started
+    report = ThroughputReport(name=name, total_points=total_points,
+                              total_seconds=elapsed,
+                              num_trajectories=num_trajectories)
+    return report, value

@@ -112,14 +112,27 @@ class PreprocessingPipeline:
         slot = time_slot_of(trajectory.start_time_s, self._config.time_slots_per_day)
         return trajectory.source, trajectory.destination, slot
 
-    def _group(self, trajectory: MatchedTrajectory) -> List[MatchedTrajectory]:
-        source, destination, slot = self._group_key(trajectory)
+    def sd_group(self, source: int, destination: int,
+                 start_time_s: float = 0.0) -> List[MatchedTrajectory]:
+        """The historical group of an SD pair (possibly empty).
+
+        Applies the same sparse-slot fallback as preprocessing, but *not* the
+        final fallback to the query trajectory itself — callers that only know
+        the SD pair (e.g. a stream engine opening a new vehicle stream) use an
+        empty result to detect that the pair has no history at all.
+        """
+        slot = time_slot_of(start_time_s, self._config.time_slots_per_day)
         group = self._index.group(source, destination, slot)
         if len(group) < self._config.min_slot_group_size:
             # Sparse time slot: the per-hour statistics would be meaningless
             # (a single historical trip would define "the" normal route), so
             # fall back to the SD pair's full history across all time slots.
             group = self._index.group(source, destination)
+        return group
+
+    def _group(self, trajectory: MatchedTrajectory) -> List[MatchedTrajectory]:
+        group = self.sd_group(trajectory.source, trajectory.destination,
+                              trajectory.start_time_s)
         if not group:
             # The trajectory's SD pair has no history at all: fall back to the
             # trajectory itself so statistics are still defined (everything

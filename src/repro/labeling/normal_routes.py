@@ -33,7 +33,12 @@ def infer_normal_routes(
     return sorted(normal, key=lambda route: -route_counts[route])
 
 
-def _normal_transitions(normal_routes: Sequence[Sequence[int]]) -> Set[Tuple[int, int]]:
+def normal_transitions(normal_routes: Sequence[Sequence[int]]) -> Set[Tuple[int, int]]:
+    """The set of segment transitions occurring on any of the normal routes.
+
+    This is the membership set behind the normal route feature; the fleet
+    stream engine holds one per stream so NRFs stay O(1) per point.
+    """
     transitions: Set[Tuple[int, int]] = set()
     for route in normal_routes:
         transitions.update(transitions_of(list(route)))
@@ -55,7 +60,7 @@ def normal_route_feature_step(
     """
     if is_source or is_destination:
         return 0
-    allowed = _normal_transitions(normal_routes)
+    allowed = normal_transitions(normal_routes)
     return 0 if (previous_segment, current_segment) in allowed else 1
 
 
@@ -73,7 +78,7 @@ def normal_route_features(
         raise LabelingError("segments must not be empty")
     if not normal_routes:
         raise LabelingError("at least one normal route is required")
-    allowed = _normal_transitions(normal_routes)
+    allowed = normal_transitions(normal_routes)
     features = []
     for index, transition in enumerate(transitions_of(segments)):
         previous, _ = transition

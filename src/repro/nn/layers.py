@@ -103,3 +103,14 @@ class Embedding(Module):
         if not (0 <= token < self.num_embeddings):
             raise ModelError("embedding token out of range")
         return self.weight.value[token]
+
+    def vectors(self, tokens: Sequence[int]) -> np.ndarray:
+        """Embedding rows of a batch of tokens, shape ``(B, dim)``.
+
+        Unlike :meth:`forward` this builds no backward cache; it is the
+        inference-only lookup used by the batched detection paths.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= self.num_embeddings):
+            raise ModelError("embedding token out of range")
+        return self.weight.value[tokens]

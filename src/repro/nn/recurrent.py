@@ -66,6 +66,46 @@ class LSTMCell(Module):
         }
         return h, c, cache
 
+    def project_input(self, x: np.ndarray) -> np.ndarray:
+        """The input's contribution ``x @ W_in`` to the gate pre-activations.
+
+        For a fixed input this vector never changes between steps, so callers
+        that see the same input many times (e.g. the same road segment across
+        a fleet of streams) can compute it once and cache it.
+        """
+        return np.asarray(x, dtype=np.float64) @ self.weight_input.value
+
+    def forward_batch(
+        self, input_projections: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One step for a batch of independent streams (inference only).
+
+        ``input_projections`` holds :meth:`project_input` of each stream's
+        input, shape ``(B, 4 * hidden_dim)``; ``h_prev`` and ``c_prev`` have
+        shape ``(B, hidden_dim)``. Returns ``(h, c)``. No backward cache is
+        built — this path exists for batched online detection.
+        """
+        input_projections = np.asarray(input_projections, dtype=np.float64)
+        h_prev = np.asarray(h_prev, dtype=np.float64)
+        c_prev = np.asarray(c_prev, dtype=np.float64)
+        h_dim = self.hidden_dim
+        if input_projections.ndim != 2 or input_projections.shape[1] != 4 * h_dim:
+            raise ModelError(
+                f"input projections must have shape (B, {4 * h_dim}), "
+                f"got {input_projections.shape}")
+        if h_prev.shape != c_prev.shape or h_prev.shape != (len(input_projections), h_dim):
+            raise ModelError("hidden/cell states must have shape (B, hidden_dim)")
+        gates = (input_projections
+                 + h_prev @ self.weight_hidden.value
+                 + self.bias.value)
+        input_gate = sigmoid(gates[:, :h_dim])
+        forget_gate = sigmoid(gates[:, h_dim:2 * h_dim])
+        cell_candidate = tanh(gates[:, 2 * h_dim:3 * h_dim])
+        output_gate = sigmoid(gates[:, 3 * h_dim:])
+        c = forget_gate * c_prev + input_gate * cell_candidate
+        h = output_gate * tanh(c)
+        return h, c
+
     def backward(
         self, grad_h: np.ndarray, grad_c: np.ndarray, cache: dict
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

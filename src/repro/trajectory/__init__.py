@@ -15,6 +15,7 @@ from .models import (
     Subtrajectory,
 )
 from .ops import (
+    interleave_streams,
     route_of,
     split_by_labels,
     subtrajectory_spans,
@@ -41,6 +42,7 @@ __all__ = [
     "transitions_of",
     "subtrajectory_spans",
     "split_by_labels",
+    "interleave_streams",
     "discrete_frechet",
     "edit_distance_routes",
     "jaccard_similarity",

@@ -78,3 +78,30 @@ def anomalous_fraction(labels: Sequence[int]) -> float:
     if not labels:
         return 0.0
     return sum(1 for label in labels if label == 1) / len(labels)
+
+
+def interleave_streams(
+    trajectories: Sequence[MatchedTrajectory],
+    rng=None,
+) -> Iterable[Tuple[int, int, int]]:
+    """Merge trajectories into one fleet-arrival stream of point events.
+
+    Yields ``(trajectory_index, position, segment)`` tuples simulating many
+    vehicles reporting fixes concurrently. Without ``rng`` the streams advance
+    in lockstep round-robin (every vehicle reports once per round); with a
+    :class:`numpy.random.Generator` each event comes from a uniformly random
+    unfinished stream, producing an arbitrary interleaving. Every trajectory's
+    own points are always emitted in order.
+    """
+    cursors = [0] * len(trajectories)
+    pending = [index for index, trajectory in enumerate(trajectories)
+               if len(trajectory.segments) > 0]
+    while pending:
+        chosen = list(pending) if rng is None else \
+            [pending[int(rng.integers(len(pending)))]]
+        for index in chosen:
+            position = cursors[index]
+            yield index, position, trajectories[index].segments[position]
+            cursors[index] += 1
+            if cursors[index] == len(trajectories[index].segments):
+                pending.remove(index)

@@ -6,9 +6,11 @@ import pytest
 
 from repro.config import ASDNetConfig, LabelingConfig, RSRNetConfig, TrainingConfig
 from repro.core import OnlineDetector, OnlineLearner, RL4OASDTrainer
-from repro.core.detector import apply_delayed_labeling, apply_rnel
+from repro.core.detector import (apply_delayed_labeling, apply_rnel,
+                                 rnel_from_degrees)
 from repro.eval import evaluate_detector
 from repro.exceptions import ModelError, NotFittedError
+from repro.roadnet import RoadNetwork
 
 
 # ---------------------------------------------------------------------- RNEL
@@ -25,6 +27,37 @@ def test_rnel_rules(line_network):
     assert apply_rnel(line_network, 0, 3, previous_label=1) == 1
     # Otherwise (multi-out, single-in but previous normal) the policy decides.
     assert apply_rnel(line_network, 0, 1, previous_label=0) is None
+
+
+def test_rnel_on_pure_degree_one_chain():
+    """Along a chain with no branches, RNEL always copies the previous label."""
+    network = RoadNetwork()
+    for node_id in range(4):
+        network.add_intersection(node_id, 100.0 * node_id, 0.0)
+    network.add_segment(0, 0, 1)
+    network.add_segment(1, 1, 2)
+    network.add_segment(2, 2, 3)
+    for previous_segment, current_segment in ((0, 1), (1, 2)):
+        assert network.out_degree(previous_segment) == 1
+        assert network.in_degree(current_segment) == 1
+        for label in (0, 1):
+            assert apply_rnel(network, previous_segment, current_segment,
+                              previous_label=label) == label
+
+
+def test_rnel_from_degrees_rule_table():
+    # Rule 1: 1-out into 1-in copies the previous label.
+    assert rnel_from_degrees(1, 1, 0) == 0
+    assert rnel_from_degrees(1, 1, 1) == 1
+    # Rule 2: 1-out into multi-in keeps a normal label normal.
+    assert rnel_from_degrees(1, 3, 0) == 0
+    assert rnel_from_degrees(1, 3, 1) is None
+    # Rule 3: multi-out into 1-in keeps an anomalous label anomalous.
+    assert rnel_from_degrees(3, 1, 1) == 1
+    assert rnel_from_degrees(3, 1, 0) is None
+    # Multi-out into multi-in: always the policy's call.
+    assert rnel_from_degrees(2, 2, 0) is None
+    assert rnel_from_degrees(2, 2, 1) is None
 
 
 # ----------------------------------------------------------- delayed labeling
@@ -48,6 +81,29 @@ def test_delayed_labeling_noop_cases():
 def test_delayed_labeling_does_not_extend_past_last_fragment():
     labels = [1, 0, 0, 0, 0, 0, 0, 0]
     assert apply_delayed_labeling(labels, window=3) == labels
+
+
+def test_delayed_labeling_window_zero_is_identity():
+    for labels in ([0, 1, 0, 1, 0], [1, 0, 1], [0, 0, 0, 0], [1, 1, 1, 1]):
+        assert apply_delayed_labeling(labels, window=0) == labels
+
+
+def test_delayed_labeling_trailing_anomalous_run_is_kept():
+    # A run still open at the end of the trajectory must survive untouched.
+    assert apply_delayed_labeling([0, 0, 1, 1], window=8) == [0, 0, 1, 1]
+    # ... and an earlier fragment merges into it across a short gap.
+    assert apply_delayed_labeling([0, 1, 0, 0, 1, 1], window=8) == \
+        [0, 1, 1, 1, 1, 1]
+
+
+def test_delayed_labeling_gap_exactly_window_boundary():
+    # A fragment `gap` zeros after a run rejoins it iff gap < window: the next
+    # anomalous label sits at `end + gap + 1`, and the scan stops at
+    # `end + window`.
+    gap_three = [0, 1, 0, 0, 0, 1, 0]
+    assert apply_delayed_labeling(gap_three, window=3) == gap_three
+    gap_two = [0, 1, 0, 0, 1, 0]
+    assert apply_delayed_labeling(gap_two, window=3) == [0, 1, 1, 1, 1, 0]
 
 
 # ------------------------------------------------------------------ detector
@@ -194,3 +250,37 @@ def test_online_learner_validates_epochs(dataset, dataset_split):
     trainer = RL4OASDTrainer(dataset.network, train[:50])
     with pytest.raises(ModelError):
         OnlineLearner(trainer, fine_tune_epochs=0)
+
+
+class _StubModel:
+    def __init__(self, name):
+        self.name = name
+
+    def detector(self, greedy=True, seed=0):
+        return ("detector", self.name, greedy, seed)
+
+
+class _StubTrainer:
+    """A trainer whose model() disagrees with what train() returned."""
+
+    def __init__(self):
+        self.initial = _StubModel("initial")
+        self.retrained = _StubModel("retrained")
+
+    def train(self):
+        return self.initial
+
+    def model(self):
+        return self.retrained
+
+    def fine_tune(self, trajectories, epochs=1):
+        pass
+
+
+def test_online_learner_serves_the_stored_model():
+    """Regression: detector() must come from the model initial_fit() stored,
+    not from whatever the wrapped trainer currently holds."""
+    learner = OnlineLearner(_StubTrainer())
+    learner.initial_fit()
+    assert learner.detector(greedy=False, seed=3) == \
+        ("detector", "initial", False, 3)
