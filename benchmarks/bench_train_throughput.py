@@ -1,0 +1,130 @@
+"""Training throughput: the batched training engine vs. the sequential loop.
+
+Runs the same one-epoch fine-tuning workload — an RL episode plus a
+supervised RSRNet gradient step per trajectory, the body of the joint
+training loop — through trainers that differ only in batch size. Batch size 1
+is the original per-trajectory loop; larger batch sizes run episodes
+time-step-synchronously with one vectorized forward, one batch-accumulated
+REINFORCE update and one RSRNet step per batch. Every trainer starts from
+identically seeded weights, so the comparison isolates engine cost.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_train_throughput.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_train_throughput.py -s
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.eval import measure_training_throughput
+from repro.experiments.common import prepare_city, train_rl4oasd
+
+from conftest import bench_settings, record_result
+
+BATCH_SIZES = (8, 32, 64)
+WORKLOAD_TRIPS = 192
+EPOCHS = 1
+#: Required epoch-throughput advantage of the batched engine at batch >= 32;
+#: override to loosen on noisy shared runners, e.g. REPRO_BENCH_MIN_SPEEDUP=2.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+
+
+@pytest.fixture(scope="module")
+def throughput():
+    result = run_bench()
+    record_result("train_throughput", result["text"])
+    return result
+
+
+def _fresh_trainer(settings, batch_size):
+    """A trainer with identically seeded weights at the given batch size."""
+    split = _fresh_trainer.split
+    _, trainer = train_rl4oasd(
+        split, settings,
+        training_overrides=dict(
+            batch_size=batch_size,
+            # The initial fit is not what this benchmark times; keep it tiny
+            # (and identical across engines) so runs stay fast.
+            pretrain_trajectories=20, pretrain_epochs=1,
+            joint_trajectories=1, joint_epochs=1, validation_interval=1000,
+        ))
+    return trainer
+
+
+def run_bench():
+    settings = bench_settings()
+    split = prepare_city("chengdu", settings)
+    _fresh_trainer.split = split
+    pool = split.development + split.test
+    workload = [pool[i % len(pool)] for i in range(WORKLOAD_TRIPS)]
+    total_points = sum(len(trajectory) for trajectory in workload)
+
+    def run_epoch(batch_size):
+        trainer = _fresh_trainer(settings, batch_size)
+        label = ("sequential loop (batch size 1)" if batch_size == 1
+                 else f"batched engine (batch size {batch_size})")
+        report, _ = measure_training_throughput(
+            lambda: trainer.fine_tune(workload, epochs=EPOCHS),
+            total_points, num_trajectories=len(workload), epochs=EPOCHS,
+            batch_size=batch_size, name=label)
+        return report
+
+    sequential = run_epoch(1)
+    batched = {size: run_epoch(size) for size in BATCH_SIZES}
+
+    lines = ["Training epoch throughput (fine-tuning workload)",
+             f"  workload: {WORKLOAD_TRIPS} trips, {total_points} points, "
+             f"{EPOCHS} epoch(s)",
+             f"  {sequential.format()}"]
+    speedups = {}
+    for size, report in batched.items():
+        speedups[size] = report.speedup_over(sequential)
+        lines.append(f"  {report.format()}   [{speedups[size]:.2f}x]")
+    text = "\n".join(lines)
+    return {
+        "text": text,
+        "sequential": sequential,
+        "batched": batched,
+        "speedups": speedups,
+    }
+
+
+def test_batched_training_speedup_at_32(throughput):
+    assert throughput["speedups"][32] >= MIN_SPEEDUP, throughput["text"]
+
+
+def test_batched_training_speedup_at_64(throughput):
+    assert throughput["speedups"][64] >= MIN_SPEEDUP, throughput["text"]
+
+
+def test_bench_training_batch(benchmark, throughput):
+    """Time one batched fine-tuning round over a 32-trajectory batch."""
+    settings = bench_settings()
+    split = _fresh_trainer.split
+    pool = split.development + split.test
+    rounds = [pool[i % len(pool)] for i in range(32)]
+
+    def fresh(**_kwargs):
+        # fine_tune extends the trainer's history, so every timed round gets
+        # a fresh identically seeded trainer instead of a drifting one.
+        return (_fresh_trainer(settings, 32),), {}
+
+    def fine_tune_round(trainer):
+        trainer.fine_tune(rounds, epochs=1)
+
+    benchmark.pedantic(fine_tune_round, setup=fresh, rounds=5)
+    assert throughput["sequential"].total_seconds > 0
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    record_result("train_throughput", result["text"])

@@ -175,12 +175,24 @@ class ASDNetConfig:
 
 @dataclass(frozen=True)
 class TrainingConfig:
-    """Joint training schedule of RSRNet and ASDNet (Section IV-D)."""
+    """Joint training schedule of RSRNet and ASDNet (Section IV-D).
+
+    ``batch_size`` selects how many trajectories share one vectorized
+    training step (episodes run time-step-synchronously across the batch and
+    each network takes one optimizer step per batch). The default of 1 keeps
+    the original sequential per-trajectory loop. ``batched`` overrides the
+    engine choice explicitly: ``True`` forces the batched engine even at
+    batch size 1 (used by the differential tests that pin the two engines
+    equal), ``False`` forces the sequential loop, and ``None`` picks the
+    batched engine whenever ``batch_size > 1``.
+    """
 
     pretrain_trajectories: int = 200
     pretrain_epochs: int = 1
     joint_trajectories: int = 10000
     joint_epochs: int = 5
+    batch_size: int = 1
+    batched: Optional[bool] = None
     validation_interval: int = 100
     validation_sample: int = 100
     delayed_labeling_window: int = 8
@@ -198,6 +210,7 @@ class TrainingConfig:
                  "pretrain_trajectories must be >= 1")
         _require(self.pretrain_epochs >= 1, "pretrain_epochs must be >= 1")
         _require(self.joint_epochs >= 1, "joint_epochs must be >= 1")
+        _require(self.batch_size >= 1, "batch_size must be >= 1")
         _require(self.validation_interval >= 1, "validation_interval must be >= 1")
         _require(self.validation_sample >= 1, "validation_sample must be >= 1")
         _require(self.delayed_labeling_window >= 0,

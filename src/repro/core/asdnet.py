@@ -44,6 +44,50 @@ class Episode:
         return len(self.steps)
 
 
+@dataclass
+class BatchedEpisode:
+    """Policy decisions of a whole *batch* of episodes, stored columnar.
+
+    The batched trainer runs B episodes time-step-synchronously; at each step
+    it appends one record covering every episode that made a stochastic (or
+    forced) decision at that step. Instead of one :class:`EpisodeStep` object
+    per decision, the bookkeeping is flat numpy arrays, so the REINFORCE
+    update can process the entire batch with a handful of matmuls.
+    """
+
+    num_episodes: int
+    episode_indices: List[np.ndarray] = field(default_factory=list)
+    states: List[np.ndarray] = field(default_factory=list)
+    actions: List[np.ndarray] = field(default_factory=list)
+    probabilities: List[np.ndarray] = field(default_factory=list)
+    previous_labels: List[np.ndarray] = field(default_factory=list)
+
+    def append(self, episode_indices: np.ndarray, states: np.ndarray,
+               actions: np.ndarray, probabilities: np.ndarray,
+               previous_labels: np.ndarray) -> None:
+        """Record the decisions of one time step across the batch."""
+        self.episode_indices.append(np.asarray(episode_indices, dtype=np.int64))
+        self.states.append(np.asarray(states, dtype=np.float64))
+        self.actions.append(np.asarray(actions, dtype=np.int64))
+        self.probabilities.append(np.asarray(probabilities, dtype=np.float64))
+        self.previous_labels.append(np.asarray(previous_labels, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return int(sum(len(indices) for indices in self.episode_indices))
+
+    def flattened(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray, np.ndarray]:
+        """All decisions concatenated: (episode_idx, states, actions, probs,
+        previous_labels)."""
+        if not self.episode_indices:
+            raise ModelError("the batched episode recorded no decisions")
+        return (np.concatenate(self.episode_indices),
+                np.concatenate(self.states, axis=0),
+                np.concatenate(self.actions),
+                np.concatenate(self.probabilities, axis=0),
+                np.concatenate(self.previous_labels))
+
+
 class ASDNet(Module):
     """The policy network of the labeling MDP."""
 
@@ -133,14 +177,16 @@ class ASDNet(Module):
         probabilities, _ = self.action_probabilities(state)
         return int(np.argmax(probabilities))
 
-    def policy_logits_batch(self, z: np.ndarray,
-                            previous_labels: Sequence[int]) -> np.ndarray:
-        """Policy logits for a batch of MDP states, shape ``(B, 2)``.
+    def build_states_batch(self, z: np.ndarray,
+                           previous_labels: Sequence[int]) -> np.ndarray:
+        """MDP states ``[z_i ; v(label_{i-1})]`` for a batch of decisions.
 
         ``z`` holds one RSRNet representation per row (``(B, repr_dim)``) and
-        ``previous_labels`` the label of each stream's previous segment. This
-        is the inference-only batched counterpart of :meth:`greedy_action`
-        used by the fleet stream engine; no backward caches are built.
+        ``previous_labels`` the label of each row's previous segment. The
+        shared state constructor of both batched paths (inference-time
+        :meth:`policy_logits_batch` and training-time
+        :meth:`states_and_probabilities_batch`), so their state layouts can
+        never diverge.
         """
         z = np.asarray(z, dtype=np.float64)
         if z.ndim != 2 or z.shape[1] != self.representation_dim:
@@ -152,9 +198,32 @@ class ASDNet(Module):
                                      or previous_labels.max() > 1):
             raise ModelError("previous labels must be 0 or 1")
         label_vectors = self.label_embedding.vectors(previous_labels)
-        states = np.concatenate([z, label_vectors], axis=1)
-        logits, _ = self.policy(states)
+        return np.concatenate([z, label_vectors], axis=1)
+
+    def policy_logits_batch(self, z: np.ndarray,
+                            previous_labels: Sequence[int]) -> np.ndarray:
+        """Policy logits for a batch of MDP states, shape ``(B, 2)``.
+
+        The inference-only batched counterpart of :meth:`greedy_action` used
+        by the fleet stream engine; no backward caches are built.
+        """
+        logits, _ = self.policy(self.build_states_batch(z, previous_labels))
         return logits
+
+    def states_and_probabilities_batch(
+        self, z: np.ndarray, previous_labels: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """MDP states and action distributions for a batch of decisions.
+
+        Returns ``(states, probabilities)`` of shapes ``(k, state_dim)`` and
+        ``(k, 2)``. This is the training-time batched counterpart of
+        :meth:`sample_action` — the caller samples (or forces) the actions and
+        records everything in a :class:`BatchedEpisode` for
+        :meth:`reinforce_update_batch`.
+        """
+        states = self.build_states_batch(z, previous_labels)
+        logits, _ = self.policy(states)
+        return states, softmax(logits, axis=1)
 
     def action_probability(self, z: np.ndarray, previous_label: int) -> np.ndarray:
         """Action distribution for one state (used by tests and diagnostics)."""
@@ -211,3 +280,75 @@ class ASDNet(Module):
         clip_gradients(self.parameters(), self._config.grad_clip)
         self._optimizer.step()
         return total_log_prob / len(episode.steps)
+
+    def reinforce_update_batch(
+        self,
+        episode: BatchedEpisode,
+        episode_returns: Sequence[float],
+        use_baseline: Optional[bool] = None,
+    ) -> float:
+        """One REINFORCE update for a whole batch of finished episodes.
+
+        ``episode_returns`` holds ``R_n`` of each episode in the batch. The
+        moving-average baseline is advanced once per non-empty episode in
+        batch order — the same sequence of baseline states the sequential
+        :meth:`reinforce_update` would traverse — but the gradients of all
+        episodes are accumulated into a *single* clipped Adam step, scaled
+        by the *mean* over the batch's non-empty episodes so the gradient
+        magnitude (and hence how often clipping saturates) stays
+        batch-size-invariant, mirroring how
+        :meth:`~repro.core.rsrnet.RSRNet.train_step_batch` averages its
+        per-sequence losses. At batch size 1 the mean is over one episode
+        and the update is numerically the sequential one; at larger batch
+        sizes it is the standard minibatch variant (one optimizer step per
+        batch instead of per episode). Returns the mean log-probability of
+        the taken actions.
+        """
+        if len(episode) == 0:
+            return 0.0
+        if use_baseline is None:
+            use_baseline = self._config.use_baseline
+        episode_returns = np.asarray(episode_returns, dtype=np.float64)
+        if episode_returns.shape != (episode.num_episodes,):
+            raise ModelError("need one return per episode in the batch")
+        episode_idx, states, actions, probabilities, previous_labels = \
+            episode.flattened()
+        counts = np.bincount(episode_idx, minlength=episode.num_episodes)
+
+        advantages = np.zeros(episode.num_episodes)
+        for index in range(episode.num_episodes):
+            if counts[index] == 0:
+                continue
+            value = float(episode_returns[index])
+            advantage = value
+            if use_baseline:
+                if self._return_baseline is None:
+                    self._return_baseline = value
+                advantage = value - self._return_baseline
+                momentum = self._config.baseline_momentum
+                self._return_baseline = (momentum * self._return_baseline
+                                         + (1.0 - momentum) * value)
+            advantages[index] = advantage
+
+        self.zero_grad()
+        total = len(actions)
+        contributing = int(np.count_nonzero(counts))
+        grad_logits = probabilities.copy()
+        grad_logits[np.arange(total), actions] -= 1.0
+        grad_logits *= advantages[episode_idx][:, None]
+        entropy_bonus = self._config.entropy_bonus
+        if entropy_bonus > 0:
+            log_probs = np.log(probabilities + 1e-12)
+            entropy_grad = probabilities * (
+                log_probs + 1.0
+                - np.sum(probabilities * log_probs, axis=1, keepdims=True))
+            grad_logits += entropy_bonus * entropy_grad
+        grad_logits /= contributing
+        grad_states = self.policy.backward(grad_logits, {"x": states})
+        self.label_embedding.backward(
+            grad_states[:, self.representation_dim:],
+            {"tokens": previous_labels})
+        clip_gradients(self.parameters(), self._config.grad_clip)
+        self._optimizer.step()
+        return float(np.mean(np.log(
+            probabilities[np.arange(total), actions] + 1e-12)))

@@ -62,6 +62,28 @@ def rnel_from_degrees(out_degree: int, in_degree: int,
     return None
 
 
+def rnel_from_degrees_batch(out_degrees: np.ndarray, in_degrees: np.ndarray,
+                            previous_labels: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rnel_from_degrees` over aligned arrays.
+
+    Returns an int array with the deterministic label where one of the three
+    rules applies and ``-1`` where the policy must decide. Used by the batched
+    training engine, which resolves the RNEL rules for a whole batch of
+    streams in one shot.
+    """
+    out_degrees = np.asarray(out_degrees, dtype=np.int64)
+    in_degrees = np.asarray(in_degrees, dtype=np.int64)
+    previous_labels = np.asarray(previous_labels, dtype=np.int64)
+    decided = np.full(out_degrees.shape, -1, dtype=np.int64)
+    single_out = out_degrees == 1
+    single_in = in_degrees == 1
+    copy_rule = single_out & single_in
+    decided[copy_rule] = previous_labels[copy_rule]
+    decided[single_out & (in_degrees > 1) & (previous_labels == 0)] = 0
+    decided[(out_degrees > 1) & single_in & (previous_labels == 1)] = 1
+    return decided
+
+
 def apply_rnel(network: RoadNetwork, previous_segment: int, current_segment: int,
                previous_label: int) -> Optional[int]:
     """Road Network Enhanced Labeling: deterministic label when a rule applies.

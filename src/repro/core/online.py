@@ -9,7 +9,10 @@ The paper compares two regimes:
   traffic.
 
 :class:`OnlineLearner` wraps a trainer and implements the FT regime; the P1
-regime is simply "never call :meth:`observe_part`".
+regime is simply "never call :meth:`observe_part`". Fine-tuning cost is
+tracked per part (:meth:`OnlineLearner.training_time_by_part`, Figure 6d),
+and a ``batch_size`` above 1 routes every fine-tuning round through the
+trainer's batched engine so the learner keeps pace with fleet-scale ingest.
 """
 
 from __future__ import annotations
@@ -34,13 +37,24 @@ class FineTuneRecord:
 
 
 class OnlineLearner:
-    """Keeps an RL4OASD model up to date as new trajectory data arrives."""
+    """Keeps an RL4OASD model up to date as new trajectory data arrives.
 
-    def __init__(self, trainer: RL4OASDTrainer, fine_tune_epochs: int = 1):
+    ``batch_size`` (optional) overrides the trainer's training batch size for
+    the fine-tuning rounds only: with a value above 1 each round runs through
+    the batched training engine — one vectorized episode and gradient step
+    per batch of new trajectories — which cuts the per-part fine-tuning cost
+    without changing how the initial model is trained.
+    """
+
+    def __init__(self, trainer: RL4OASDTrainer, fine_tune_epochs: int = 1,
+                 batch_size: Optional[int] = None):
         if fine_tune_epochs < 1:
             raise ModelError("fine_tune_epochs must be at least 1")
+        if batch_size is not None and batch_size < 1:
+            raise ModelError("batch_size must be at least 1")
         self._trainer = trainer
         self._fine_tune_epochs = fine_tune_epochs
+        self._batch_size = batch_size
         self._records: List[FineTuneRecord] = []
         self._model: Optional[RL4OASDModel] = None
 
@@ -63,7 +77,11 @@ class OnlineLearner:
         if self._model is None:
             raise ModelError("call initial_fit() before observe_part()")
         started = time.perf_counter()
-        self._trainer.fine_tune(trajectories, epochs=self._fine_tune_epochs)
+        if self._batch_size is None:
+            self._trainer.fine_tune(trajectories, epochs=self._fine_tune_epochs)
+        else:
+            self._trainer.fine_tune(trajectories, epochs=self._fine_tune_epochs,
+                                    batch_size=self._batch_size)
         record = FineTuneRecord(
             part=part,
             num_trajectories=len(trajectories),

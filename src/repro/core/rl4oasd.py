@@ -1,10 +1,44 @@
-"""Joint training of RSRNet and ASDNet — the RL4OASD algorithm (Section IV)."""
+"""Joint training of RSRNet and ASDNet — the RL4OASD algorithm (Section IV).
+
+The paper trains without any manual labels: RSRNet is warm-started against
+noisy labels derived from historical traffic, then ASDNet (an RL policy over
+the labeling MDP) iteratively refines those labels while RSRNet is retrained
+on the refinement — each network bootstrapping the other. This module holds
+that whole loop:
+
+* :class:`RL4OASDTrainer` — pre-training, joint training, and online
+  fine-tuning (:meth:`RL4OASDTrainer.fine_tune`) under concept drift.
+* :class:`RL4OASDModel` — the trained artifact: both networks plus the
+  preprocessing pipeline, from which detectors and stream engines are built.
+* :class:`TrainingReport` — losses, episode returns, validation F1 and wall
+  clock collected along the way.
+
+Two training engines produce the same models:
+
+* **Sequential** (``batch_size=1``, the default) — the faithful
+  per-trajectory loop: one episode, one REINFORCE update and one RSRNet
+  gradient step per trajectory, exactly as Algorithm 2 reads.
+* **Batched** (``batch_size>1``, or ``batched=True``) — episodes for a whole
+  batch of trajectories run *time-step-synchronously*: one padded
+  :meth:`~repro.core.rsrnet.RSRNet.forward_batch_train` per batch, one
+  vectorized policy evaluation per time step across every trajectory still
+  active at that step (ragged batches are tail-padded and masked), one
+  batch-accumulated REINFORCE update
+  (:meth:`~repro.core.asdnet.ASDNet.reinforce_update_batch`) and one RSRNet
+  step (:meth:`~repro.core.rsrnet.RSRNet.train_step_batch`) per batch. The
+  batched engine also reuses the single forward pass for the episode
+  representations, the global reward *and* the supervised gradient step,
+  where the sequential loop runs three forwards. At ``batch_size=1`` the two
+  engines are numerically equivalent (pinned by differential tests); at
+  larger batch sizes the batched engine is the standard minibatch variant
+  and several times faster — see ``benchmarks/bench_train_throughput.py``.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,12 +51,44 @@ from ..config import (
 )
 from ..exceptions import ModelError, NotFittedError
 from ..labeling.features import PreprocessedTrajectory, PreprocessingPipeline
+from ..nn.functional import cosine_similarity_rows
 from ..roadnet.graph import RoadNetwork
 from ..trajectory.models import MatchedTrajectory
-from .asdnet import ASDNet, Episode
-from .detector import OnlineDetector, apply_rnel
+from .asdnet import ASDNet, BatchedEpisode, Episode
+from .detector import OnlineDetector, apply_rnel, rnel_from_degrees_batch
 from .rewards import episode_return, global_reward, local_reward
 from .rsrnet import RSRNet
+
+
+def _chunks(items: Sequence, size: int) -> Iterator[Sequence]:
+    """Consecutive slices of ``items`` of at most ``size`` elements."""
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+@dataclass
+class _EpisodeBatch:
+    """Padded arrays for one batch of trajectories (batched engine input).
+
+    ``tokens`` / ``nrf`` are tail-padded ``(B, T)`` index arrays, ``lengths``
+    the true lengths, and ``out_degrees`` / ``in_degrees`` hold, at middle
+    position ``i``, the out-degree of segment ``i-1`` and the in-degree of
+    segment ``i`` — everything the vectorized RNEL rules need.
+    """
+
+    preprocessed: List[PreprocessedTrajectory]
+    tokens: np.ndarray
+    nrf: np.ndarray
+    lengths: np.ndarray
+    out_degrees: Optional[np.ndarray] = None
+    in_degrees: Optional[np.ndarray] = None
+
+    @property
+    def horizon(self) -> int:
+        return int(self.tokens.shape[1])
+
+    def __len__(self) -> int:
+        return len(self.preprocessed)
 
 
 @dataclass
@@ -42,12 +108,14 @@ class TrainingReport:
         return self.pretrain_seconds + self.joint_seconds
 
     def summary(self) -> Dict[str, float]:
+        """Headline numbers of a finished run, one flat dict for logging."""
         return {
             "pretrain_seconds": self.pretrain_seconds,
             "joint_seconds": self.joint_seconds,
             "final_joint_loss": self.joint_losses[-1] if self.joint_losses else float("nan"),
             "mean_episode_return": (float(np.mean(self.episode_returns))
                                     if self.episode_returns else float("nan")),
+            "best_validation_f1": self.best_validation_f1,
         }
 
 
@@ -138,6 +206,9 @@ class RL4OASDTrainer:
         )
         self._trained = False
         self._report = TrainingReport()
+        # Road-segment degrees are static, so the batched engine caches them
+        # rather than re-querying the network at every RNEL decision.
+        self._degree_cache: Dict[int, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------ properties
     @property
@@ -155,6 +226,19 @@ class RL4OASDTrainer:
     @property
     def training_config(self) -> TrainingConfig:
         return self._training_config
+
+    @property
+    def uses_batched_training(self) -> bool:
+        """Whether training runs through the batched engine.
+
+        Decided by :class:`~repro.config.TrainingConfig`: an explicit
+        ``batched`` flag wins; otherwise any ``batch_size > 1`` selects the
+        batched engine and ``batch_size == 1`` keeps the sequential loop.
+        """
+        config = self._training_config
+        if config.batched is not None:
+            return config.batched
+        return config.batch_size > 1
 
     # ------------------------------------------------------------- sampling
     def _sample_trajectories(self, count: int) -> List[MatchedTrajectory]:
@@ -191,19 +275,44 @@ class RL4OASDTrainer:
         config = self._training_config
         started = time.perf_counter()
         sample = self._sample_trajectories(config.pretrain_trajectories)
-        for _ in range(config.pretrain_epochs):
-            for trajectory in sample:
-                preprocessed = self._pipeline.preprocess(trajectory)
-                labels = self._training_labels(preprocessed)
-                loss = self._rsrnet.train_step(
-                    preprocessed.tokens, preprocessed.normal_route_features, labels)
-                self._report.pretrain_losses.append(loss)
-            if config.use_asdnet:
+        if self.uses_batched_training:
+            self._pretrain_batched(sample)
+        else:
+            for _ in range(config.pretrain_epochs):
                 for trajectory in sample:
                     preprocessed = self._pipeline.preprocess(trajectory)
                     labels = self._training_labels(preprocessed)
-                    self._run_episode(preprocessed, forced_labels=labels)
+                    loss = self._rsrnet.train_step(
+                        preprocessed.tokens, preprocessed.normal_route_features,
+                        labels)
+                    self._report.pretrain_losses.append(loss)
+                if config.use_asdnet:
+                    for trajectory in sample:
+                        preprocessed = self._pipeline.preprocess(trajectory)
+                        labels = self._training_labels(preprocessed)
+                        self._run_episode(preprocessed, forced_labels=labels)
         self._report.pretrain_seconds = time.perf_counter() - started
+
+    def _pretrain_batched(self, sample: Sequence[MatchedTrajectory]) -> None:
+        """Batched warm start: same schedule as the sequential loop, one
+        vectorized gradient step (and one forced-label episode batch) per
+        ``batch_size`` trajectories."""
+        config = self._training_config
+        preprocessed = [self._pipeline.preprocess(t) for t in sample]
+        for _ in range(config.pretrain_epochs):
+            for chunk in _chunks(preprocessed, config.batch_size):
+                prep = self._prepare_batch(chunk, with_degrees=False)
+                labels = self._pad_labels(
+                    [self._training_labels(p) for p in chunk], prep.horizon)
+                _, _, cache = self._rsrnet.forward_batch_train(
+                    prep.tokens, prep.nrf, prep.lengths)
+                losses = self._rsrnet.train_step_batch(labels, cache)
+                self._report.pretrain_losses.extend(float(l) for l in losses)
+            if config.use_asdnet:
+                for chunk in _chunks(preprocessed, config.batch_size):
+                    prep = self._prepare_batch(chunk, with_degrees=False)
+                    forced = [self._training_labels(p) for p in chunk]
+                    self._run_episode_batch(prep, forced_labels=forced)
 
     def _joint_training(self) -> None:
         """Iteratively refine labels with ASDNet and retrain RSRNet on them.
@@ -224,24 +333,46 @@ class RL4OASDTrainer:
         best_state = (self._rsrnet.state_dict(), self._asdnet.state_dict())
         self._report.validation_f1.append(best_f1)
 
-        for index, trajectory in enumerate(sample, start=1):
-            preprocessed = self._pipeline.preprocess(trajectory)
-            for _ in range(config.joint_epochs):
-                refined_labels, episode_value = self._run_episode(preprocessed)
-                loss = self._rsrnet.train_step(
-                    preprocessed.tokens,
-                    preprocessed.normal_route_features,
-                    refined_labels,
-                )
-                self._report.joint_losses.append(loss)
-                self._report.episode_returns.append(episode_value)
-            if index % config.validation_interval == 0 or index == len(sample):
-                score = self._validation_f1()
-                self._report.validation_f1.append(score)
-                if score >= best_f1:
-                    best_f1 = score
-                    best_state = (self._rsrnet.state_dict(),
-                                  self._asdnet.state_dict())
+        if self.uses_batched_training:
+            processed = 0
+            for chunk in _chunks(sample, config.batch_size):
+                preprocessed = [self._pipeline.preprocess(t) for t in chunk]
+                prep = self._prepare_batch(preprocessed,
+                                           with_degrees=config.use_rnel)
+                for _ in range(config.joint_epochs):
+                    labels, returns, cache = self._run_episode_batch(prep)
+                    losses = self._rsrnet.train_step_batch(labels, cache)
+                    self._report.joint_losses.extend(float(l) for l in losses)
+                    self._report.episode_returns.extend(float(r) for r in returns)
+                before, processed = processed, processed + len(chunk)
+                crossed = (processed // config.validation_interval
+                           > before // config.validation_interval)
+                if crossed or processed == len(sample):
+                    score = self._validation_f1()
+                    self._report.validation_f1.append(score)
+                    if score >= best_f1:
+                        best_f1 = score
+                        best_state = (self._rsrnet.state_dict(),
+                                      self._asdnet.state_dict())
+        else:
+            for index, trajectory in enumerate(sample, start=1):
+                preprocessed = self._pipeline.preprocess(trajectory)
+                for _ in range(config.joint_epochs):
+                    refined_labels, episode_value = self._run_episode(preprocessed)
+                    loss = self._rsrnet.train_step(
+                        preprocessed.tokens,
+                        preprocessed.normal_route_features,
+                        refined_labels,
+                    )
+                    self._report.joint_losses.append(loss)
+                    self._report.episode_returns.append(episode_value)
+                if index % config.validation_interval == 0 or index == len(sample):
+                    score = self._validation_f1()
+                    self._report.validation_f1.append(score)
+                    if score >= best_f1:
+                        best_f1 = score
+                        best_state = (self._rsrnet.state_dict(),
+                                      self._asdnet.state_dict())
 
         self._rsrnet.load_state_dict(best_state[0])
         self._asdnet.load_state_dict(best_state[1])
@@ -342,20 +473,193 @@ class RL4OASDTrainer:
         )
         return labels, episode_value
 
+    # ------------------------------------------------------ batched engine
+    def _segment_degrees(self, segment: int) -> Tuple[int, int]:
+        """Cached ``(out_degree, in_degree)`` of one road segment."""
+        degrees = self._degree_cache.get(segment)
+        if degrees is None:
+            degrees = (self._network.out_degree(segment),
+                       self._network.in_degree(segment))
+            self._degree_cache[segment] = degrees
+        return degrees
+
+    def _prepare_batch(self, preprocessed: Sequence[PreprocessedTrajectory],
+                       with_degrees: bool) -> _EpisodeBatch:
+        """Pad a batch of preprocessed trajectories into aligned arrays."""
+        lengths = np.array([len(p) for p in preprocessed], dtype=np.int64)
+        batch, horizon = len(preprocessed), int(lengths.max(initial=1))
+        tokens = np.zeros((batch, horizon), dtype=np.int64)
+        nrf = np.zeros((batch, horizon), dtype=np.int64)
+        out_degrees = np.ones((batch, horizon), dtype=np.int64) if with_degrees else None
+        in_degrees = np.ones((batch, horizon), dtype=np.int64) if with_degrees else None
+        for b, item in enumerate(preprocessed):
+            n = len(item)
+            tokens[b, :n] = item.tokens
+            nrf[b, :n] = item.normal_route_features
+            if with_degrees:
+                segments = item.trajectory.segments
+                for i in range(1, n - 1):
+                    out_degrees[b, i] = self._segment_degrees(segments[i - 1])[0]
+                    in_degrees[b, i] = self._segment_degrees(segments[i])[1]
+        return _EpisodeBatch(preprocessed=list(preprocessed), tokens=tokens,
+                             nrf=nrf, lengths=lengths,
+                             out_degrees=out_degrees, in_degrees=in_degrees)
+
+    @staticmethod
+    def _pad_labels(labels: Sequence[Sequence[int]], horizon: int) -> np.ndarray:
+        """Tail-pad per-trajectory label lists into a ``(B, T)`` matrix."""
+        padded = np.zeros((len(labels), horizon), dtype=np.int64)
+        for b, row in enumerate(labels):
+            padded[b, :len(row)] = row
+        return padded
+
+    def _run_episode_batch(
+        self,
+        prep: _EpisodeBatch,
+        forced_labels: Optional[Sequence[Sequence[int]]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        """Label a batch of trajectories with the current policy, batched.
+
+        The batched counterpart of :meth:`_run_episode`: episodes run
+        time-step-synchronously — at step ``t`` every trajectory whose
+        position ``t`` is a middle segment resolves its label (RNEL rule or
+        one vectorized policy evaluation), sources/destinations stay normal,
+        and padded positions are skipped. Rewards are computed vectorized and
+        ASDNet takes one batch-accumulated REINFORCE update. Returns
+        ``(labels, returns, cache)`` where ``labels`` is the padded ``(B, T)``
+        label matrix, ``returns`` the per-episode returns, and ``cache`` the
+        RSRNet forward cache, reusable by
+        :meth:`~repro.core.rsrnet.RSRNet.train_step_batch` because ASDNet's
+        update leaves RSRNet's weights untouched.
+        """
+        config = self._training_config
+        lengths = prep.lengths
+        batch, horizon = prep.tokens.shape
+        z, logits, cache = self._rsrnet.forward_batch_train(
+            prep.tokens, prep.nrf, lengths)
+        labels = np.zeros((batch, horizon), dtype=np.int64)
+        episode = BatchedEpisode(num_episodes=batch)
+        forced = (self._pad_labels(forced_labels, horizon)
+                  if forced_labels is not None else None)
+
+        for t in range(1, horizon):
+            middle = np.nonzero(t < lengths - 1)[0]
+            if middle.size == 0:
+                continue
+            previous = labels[middle, t - 1]
+            if forced is not None:
+                actions = forced[middle, t]
+                states, probabilities = \
+                    self._asdnet.states_and_probabilities_batch(
+                        z[middle, t], previous)
+                episode.append(middle, states, actions, probabilities, previous)
+                labels[middle, t] = actions
+                continue
+            rows = middle
+            if config.use_rnel:
+                decided = rnel_from_degrees_batch(
+                    prep.out_degrees[middle, t], prep.in_degrees[middle, t],
+                    previous)
+                fixed = decided >= 0
+                labels[middle[fixed], t] = decided[fixed]
+                rows = middle[~fixed]
+                previous = previous[~fixed]
+            if rows.size == 0:
+                continue
+            states, probabilities = self._asdnet.states_and_probabilities_batch(
+                z[rows, t], previous)
+            if rows.size == 1:
+                # Single stochastic decision: draw through the same
+                # rng.choice call as the sequential loop, which keeps the
+                # batch-size-1 engine on the identical random stream.
+                actions = np.array([int(self._rng.choice(
+                    ASDNet.NUM_ACTIONS, p=probabilities[0]))], dtype=np.int64)
+            else:
+                draws = self._rng.random(rows.size)
+                actions = (draws >= probabilities[:, 0]).astype(np.int64)
+            episode.append(rows, states, actions, probabilities, previous)
+            labels[rows, t] = actions
+
+        if config.use_global_reward:
+            sequence_losses = self._rsrnet.sequence_losses(logits, labels, lengths)
+            global_values = 1.0 / (1.0 + sequence_losses)
+        else:
+            global_values = np.zeros(batch)
+        if config.use_local_reward and horizon > 1:
+            dim = z.shape[2]
+            cosines = cosine_similarity_rows(
+                z[:, :-1].reshape(-1, dim),
+                z[:, 1:].reshape(-1, dim)).reshape(batch, horizon - 1)
+            signs = np.where(labels[:, :-1] == labels[:, 1:], 1.0, -1.0)
+            pair_mask = np.arange(1, horizon)[None, :] < lengths[:, None]
+            pair_counts = lengths - 1
+            has_pairs = pair_counts > 0
+            local_means = np.zeros(batch)
+            local_means[has_pairs] = (
+                (cosines * signs * pair_mask).sum(axis=1)[has_pairs]
+                / pair_counts[has_pairs])
+            returns = np.where(has_pairs, local_means + global_values,
+                               global_values)
+        else:
+            returns = global_values
+
+        self._asdnet.reinforce_update_batch(
+            episode, returns,
+            use_baseline=None if forced_labels is None else False,
+        )
+        return labels, returns, cache
+
     # ------------------------------------------------------- online updates
     def fine_tune(self, new_trajectories: Sequence[MatchedTrajectory],
-                  epochs: int = 1) -> None:
+                  epochs: int = 1, batch_size: Optional[int] = None) -> None:
         """Continue training on newly recorded trajectories (concept drift).
 
         The new trajectories extend the historical index (so the normal-route
         statistics shift with the new traffic), and both networks take
-        additional gradient steps on them.
+        additional gradient steps on them. An explicit ``batch_size``
+        overrides the training configuration for this call only — including
+        its ``batched`` engine choice (a value above 1 always runs the
+        batched engine, 1 always runs the sequential loop). This is the knob
+        :class:`~repro.core.online.OnlineLearner` uses to keep per-part
+        fine-tuning fast without touching how the model was trained
+        initially.
         """
         if not new_trajectories:
             return
         self._historical.extend(new_trajectories)
         self._pipeline.extend_history(new_trajectories)
         config = self._training_config
+        if batch_size is None:
+            effective_batch = config.batch_size
+            batched = self.uses_batched_training
+        else:
+            # An explicit per-call batch size expresses the caller's intent
+            # directly, so it overrides the configured engine choice too.
+            if batch_size < 1:
+                raise ModelError("batch_size must be >= 1")
+            effective_batch = int(batch_size)
+            batched = effective_batch > 1
+        if batched:
+            items = list(new_trajectories)
+            for _ in range(max(1, epochs)):
+                for chunk in _chunks(items, effective_batch):
+                    preprocessed = [self._pipeline.preprocess(t) for t in chunk]
+                    prep = self._prepare_batch(
+                        preprocessed,
+                        with_degrees=config.use_asdnet and config.use_rnel)
+                    if config.use_asdnet:
+                        labels, returns, cache = self._run_episode_batch(prep)
+                        self._report.episode_returns.extend(
+                            float(r) for r in returns)
+                    else:
+                        labels = self._pad_labels(
+                            [self._training_labels(p) for p in preprocessed],
+                            prep.horizon)
+                        _, _, cache = self._rsrnet.forward_batch_train(
+                            prep.tokens, prep.nrf, prep.lengths)
+                    losses = self._rsrnet.train_step_batch(labels, cache)
+                    self._report.joint_losses.extend(float(l) for l in losses)
+            return
         for _ in range(max(1, epochs)):
             for trajectory in new_trajectories:
                 preprocessed = self._pipeline.preprocess(trajectory)

@@ -21,7 +21,8 @@ import numpy as np
 from ..config import RSRNetConfig
 from ..exceptions import ModelError
 from ..nn.layers import Embedding, Linear
-from ..nn.losses import cross_entropy_from_logits, softmax
+from ..nn.losses import (cross_entropy_from_logits,
+                         sequence_cross_entropy_from_logits, softmax)
 from ..nn.module import Module
 from ..nn.optim import Adam, clip_gradients
 from ..nn.recurrent import LSTM
@@ -139,6 +140,94 @@ class RSRNet(Module):
         clip_gradients(self.parameters(), self._config.grad_clip)
         self._optimizer.step()
         return loss
+
+    # ----------------------------------------------------- batched training
+    def forward_batch_train(
+        self,
+        tokens: np.ndarray,
+        nrf: np.ndarray,
+        lengths: Sequence[int],
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        """Whole-sequence forward pass over a padded batch, keeping caches.
+
+        ``tokens`` and ``nrf`` have shape ``(B, T)`` (tail-padded with any
+        valid indices) and ``lengths`` the true length of each sequence.
+        Returns ``(z, logits, cache)`` with ``z`` of shape
+        ``(B, T, hidden_dim + nrf_dim)`` and ``logits`` of shape
+        ``(B, T, 2)``. The cache feeds :meth:`train_step_batch`, so the
+        trainer can reuse one forward pass for the RL episode, the global
+        reward, and the supervised gradient step.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        nrf = np.asarray(nrf, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if tokens.ndim != 2 or tokens.shape != nrf.shape:
+            raise ModelError("tokens and normal route features must be "
+                             "aligned (B, T) arrays")
+        if lengths.shape != (len(tokens),) or lengths.min(initial=1) < 1:
+            raise ModelError("lengths must be positive, one per sequence")
+        if lengths.max(initial=0) > tokens.shape[1]:
+            raise ModelError("a sequence length exceeds the padded horizon")
+        embedded, embed_cache = self.segment_embedding(tokens)
+        hidden, lstm_caches = self.lstm.forward_batch(embedded)
+        nrf_embedded, nrf_cache = self.nrf_embedding(nrf)
+        z = np.concatenate([hidden, nrf_embedded], axis=2)
+        batch, steps, dim = z.shape
+        logits_flat, classifier_cache = self.classifier(z.reshape(batch * steps, dim))
+        logits = logits_flat.reshape(batch, steps, self.NUM_CLASSES)
+        cache = {
+            "embed_cache": embed_cache,
+            "lstm_caches": lstm_caches,
+            "nrf_cache": nrf_cache,
+            "classifier_cache": classifier_cache,
+            "z": z,
+            "logits": logits,
+            "lengths": lengths,
+        }
+        return z, logits, cache
+
+    def sequence_losses(self, logits: np.ndarray, labels: np.ndarray,
+                        lengths: Sequence[int]) -> np.ndarray:
+        """Per-sequence mean cross-entropy of padded batch logits (no update).
+
+        Each entry equals :meth:`loss` of that sequence alone; used by the
+        batched trainer to derive the per-episode global reward without an
+        extra forward pass.
+        """
+        losses, _ = sequence_cross_entropy_from_logits(logits, labels, lengths)
+        return losses
+
+    def train_step_batch(
+        self,
+        labels: np.ndarray,
+        cache: dict,
+    ) -> np.ndarray:
+        """One gradient step against per-sequence ``labels`` over a batch.
+
+        ``labels`` has shape ``(B, T)`` (padding ignored) and ``cache`` comes
+        from :meth:`forward_batch_train` run with the *current* weights. The
+        minimised objective is the batch mean of the per-sequence mean
+        cross-entropies, which at batch size 1 is exactly the sequential
+        :meth:`train_step` objective. Returns the per-sequence losses.
+        """
+        lengths = cache["lengths"]
+        losses, grad_logits = sequence_cross_entropy_from_logits(
+            cache["logits"], labels, lengths)
+        self.zero_grad()
+        batch, steps, classes = grad_logits.shape
+        grad_z_flat = self.classifier.backward(
+            grad_logits.reshape(batch * steps, classes),
+            cache["classifier_cache"])
+        grad_z = grad_z_flat.reshape(batch, steps, -1)
+        hidden_dim = self._config.hidden_dim
+        grad_hidden = grad_z[:, :, :hidden_dim]
+        grad_nrf = grad_z[:, :, hidden_dim:]
+        self.nrf_embedding.backward(grad_nrf, cache["nrf_cache"])
+        grad_embedded = self.lstm.backward_batch(grad_hidden, cache["lstm_caches"])
+        self.segment_embedding.backward(grad_embedded, cache["embed_cache"])
+        clip_gradients(self.parameters(), self._config.grad_clip)
+        self._optimizer.step()
+        return losses
 
     # --------------------------------------------------------- online (step)
     def begin_sequence(self) -> RSRNetStepState:

@@ -2,8 +2,9 @@
 
 from .metrics import MetricsReport, evaluate_labelings, span_jaccard
 from .grouping import group_by_length, LENGTH_BOUNDARIES
-from .timing import (ThroughputReport, TimingReport, measure_detector,
-                     measure_throughput)
+from .timing import (ThroughputReport, TimingReport, TrainingThroughputReport,
+                     measure_detector, measure_throughput,
+                     measure_training_throughput)
 from .runner import EvaluationRun, evaluate_detector
 
 __all__ = [
@@ -16,6 +17,8 @@ __all__ = [
     "measure_detector",
     "ThroughputReport",
     "measure_throughput",
+    "TrainingThroughputReport",
+    "measure_training_throughput",
     "EvaluationRun",
     "evaluate_detector",
 ]

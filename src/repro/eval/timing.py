@@ -1,6 +1,7 @@
-"""Timing harnesses for the efficiency experiments (Figures 3 and 4) and the
+"""Timing harnesses for the efficiency experiments (Figures 3 and 4), the
 fleet-throughput comparison between the single-stream detector and the batched
-stream engine."""
+stream engine, and the training-throughput comparison between the sequential
+per-trajectory training loop and the batched training engine."""
 
 from __future__ import annotations
 
@@ -126,4 +127,89 @@ def measure_throughput(
     report = ThroughputReport(name=name, total_points=total_points,
                               total_seconds=elapsed,
                               num_trajectories=num_trajectories)
+    return report, value
+
+
+@dataclass
+class TrainingThroughputReport:
+    """Throughput of one *training* strategy over a fixed epoch workload.
+
+    Counts both granularities the training loop works at: road-network points
+    (every segment passes through RSRNet's recurrent step and, in the middle
+    of a trajectory, through ASDNet's policy) and whole trajectories (each is
+    one episode plus one supervised gradient step per epoch). Used to compare
+    the sequential per-trajectory loop against the batched training engine at
+    different batch sizes.
+    """
+
+    name: str
+    batch_size: int
+    epochs: int
+    total_points: int
+    num_trajectories: int
+    total_seconds: float
+
+    @property
+    def points_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.total_points * self.epochs / self.total_seconds
+
+    @property
+    def trajectories_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.num_trajectories * self.epochs / self.total_seconds
+
+    def speedup_over(self, other: "TrainingThroughputReport") -> float:
+        """How many times more training points/sec than ``other``."""
+        if other.points_per_second <= 0.0:
+            return float("inf")
+        return self.points_per_second / other.points_per_second
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "batch_size": self.batch_size,
+            "epochs": self.epochs,
+            "total_points": self.total_points,
+            "num_trajectories": self.num_trajectories,
+            "total_seconds": self.total_seconds,
+            "points_per_second": self.points_per_second,
+            "trajectories_per_second": self.trajectories_per_second,
+        }
+
+    def format(self) -> str:
+        return (f"{self.name}: {self.epochs} epoch(s) x "
+                f"{self.num_trajectories} trips ({self.total_points} points) "
+                f"in {self.total_seconds:.3f}s = "
+                f"{self.points_per_second:,.0f} points/sec, "
+                f"{self.trajectories_per_second:,.1f} trips/sec")
+
+
+def measure_training_throughput(
+    run: Callable[[], object],
+    total_points: int,
+    num_trajectories: int,
+    epochs: int = 1,
+    batch_size: int = 1,
+    name: str = "trainer",
+) -> Tuple[TrainingThroughputReport, object]:
+    """Wall-clock one training workload (e.g. a fine-tuning epoch).
+
+    ``run()`` must train over ``num_trajectories`` trajectories totalling
+    ``total_points`` points for ``epochs`` epochs. Returns ``(report, run's
+    return value)``, mirroring :func:`measure_throughput`.
+    """
+    if total_points < 1:
+        raise EvaluationError("training throughput needs at least one point")
+    if num_trajectories < 1:
+        raise EvaluationError("training throughput needs at least one trajectory")
+    started = time.perf_counter()
+    value = run()
+    elapsed = time.perf_counter() - started
+    report = TrainingThroughputReport(
+        name=name, batch_size=batch_size, epochs=epochs,
+        total_points=total_points, num_trajectories=num_trajectories,
+        total_seconds=elapsed)
     return report, value

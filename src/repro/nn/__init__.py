@@ -18,10 +18,12 @@ from .recurrent import GRUCell, LSTM, LSTMCell, GRU
 from .losses import (
     binary_cross_entropy,
     cross_entropy_from_logits,
+    sequence_cross_entropy_from_logits,
     softmax,
     log_softmax,
 )
-from .functional import cosine_similarity, one_hot, sigmoid, tanh
+from .functional import (cosine_similarity, cosine_similarity_rows, one_hot,
+                         sigmoid, tanh)
 from .optim import SGD, Adam, clip_gradients
 
 __all__ = [
@@ -36,8 +38,10 @@ __all__ = [
     "softmax",
     "log_softmax",
     "cross_entropy_from_logits",
+    "sequence_cross_entropy_from_logits",
     "binary_cross_entropy",
     "cosine_similarity",
+    "cosine_similarity_rows",
     "one_hot",
     "sigmoid",
     "tanh",

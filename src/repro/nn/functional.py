@@ -44,3 +44,24 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> float
     if norm_a < eps or norm_b < eps:
         return 0.0
     return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def cosine_similarity_rows(a: np.ndarray, b: np.ndarray,
+                           eps: float = 1e-12) -> np.ndarray:
+    """Row-wise cosine similarity of two ``(N, D)`` arrays, shape ``(N,)``.
+
+    Rows where either vector is (near) zero get similarity 0, matching
+    :func:`cosine_similarity` applied row by row.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ModelError("cosine_similarity_rows requires equal (N, D) arrays")
+    norm_a = np.linalg.norm(a, axis=1)
+    norm_b = np.linalg.norm(b, axis=1)
+    valid = (norm_a >= eps) & (norm_b >= eps)
+    out = np.zeros(len(a))
+    if np.any(valid):
+        out[valid] = (np.sum(a[valid] * b[valid], axis=1)
+                      / (norm_a[valid] * norm_b[valid]))
+    return out

@@ -51,6 +51,49 @@ def cross_entropy_from_logits(
     return loss, grad
 
 
+def sequence_cross_entropy_from_logits(
+    logits: np.ndarray, targets: np.ndarray, lengths: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-sequence mean cross-entropy over a padded (ragged) batch.
+
+    ``logits`` has shape ``(B, T, C)``, ``targets`` shape ``(B, T)`` and
+    ``lengths`` gives each sequence's true length (positions at or beyond a
+    sequence's length are padding and ignored). Returns
+    ``(per_sequence_losses, grad_logits)`` where ``per_sequence_losses`` has
+    shape ``(B,)`` (each entry equal to :func:`cross_entropy_from_logits` of
+    that sequence alone) and ``grad_logits`` is the gradient of the
+    *batch-mean* of the per-sequence losses, zero at padded positions — the
+    batched counterpart of the gradient used by the sequential training loop.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 3:
+        raise ModelError("sequence logits must have shape (B, T, C)")
+    targets = np.asarray(targets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    batch, steps, classes = logits.shape
+    if targets.shape != (batch, steps):
+        raise ModelError("targets must have shape (B, T)")
+    if lengths.shape != (batch,) or lengths.min(initial=1) < 1:
+        raise ModelError("lengths must be positive, one per sequence")
+    if lengths.max(initial=0) > steps:
+        raise ModelError("a sequence length exceeds the padded horizon")
+    if targets.min(initial=0) < 0 or targets.max(initial=0) >= classes:
+        raise ModelError("target class out of range")
+    mask = np.arange(steps)[None, :] < lengths[:, None]
+
+    log_probs = log_softmax(logits, axis=2)
+    rows = np.arange(batch)[:, None]
+    columns = np.arange(steps)[None, :]
+    picked = log_probs[rows, columns, targets] * mask
+    per_sequence = -picked.sum(axis=1) / lengths
+
+    grad = softmax(logits, axis=2)
+    grad[rows, columns, targets] -= 1.0
+    grad *= mask[:, :, None]
+    grad /= lengths[:, None, None] * batch
+    return per_sequence, grad
+
+
 def binary_cross_entropy(probabilities: np.ndarray,
                          targets: Sequence[float],
                          eps: float = 1e-12) -> float:

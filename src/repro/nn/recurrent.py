@@ -2,6 +2,24 @@
 
 Both cells implement explicit forward/backward passes so sequence models can
 backpropagate through time without an autograd engine.
+
+Each cell exposes three execution modes:
+
+* **Sequential** (:meth:`LSTMCell.forward` / :meth:`LSTMCell.backward`) — one
+  step for one stream, building the cache needed for backpropagation through
+  time. Used by the per-trajectory training loop and by
+  :meth:`repro.core.rsrnet.RSRNet.step` in the online detector.
+* **Batched inference** (:meth:`LSTMCell.forward_batch`) — one step for a
+  batch of independent streams from *precomputed input projections*, with no
+  backward cache. Used by the fleet stream engine, where the projection of a
+  road segment's embedding is shared across every vehicle on that segment.
+* **Batched training** (:meth:`LSTMCell.forward_batch_cached` /
+  :meth:`LSTMCell.backward_batch`, wrapped by :meth:`LSTM.forward_batch` /
+  :meth:`LSTM.backward_batch`) — one step for a batch of sequences *with* the
+  BPTT cache, used by the batched training engine. Ragged batches are padded
+  at the tail; padded positions need no explicit masking here because the
+  loss functions zero their gradients, which keeps every recurrent gradient
+  flowing out of a padded step identically zero.
 """
 
 from __future__ import annotations
@@ -106,6 +124,79 @@ class LSTMCell(Module):
         h = output_gate * tanh(c)
         return h, c
 
+    def forward_batch_cached(
+        self, x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        """One step for a batch of independent sequences, keeping the cache.
+
+        ``x`` has shape ``(B, input_dim)``; ``h_prev`` and ``c_prev`` have
+        shape ``(B, hidden_dim)``. Returns ``(h, c, cache)`` where the cache
+        feeds :meth:`backward_batch`. This is the training counterpart of
+        :meth:`forward_batch` (which takes precomputed input projections and
+        builds no cache).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ModelError(
+                f"inputs must have shape (B, {self.input_dim}), got {x.shape}")
+        h_dim = self.hidden_dim
+        gates = (x @ self.weight_input.value
+                 + h_prev @ self.weight_hidden.value
+                 + self.bias.value)
+        input_gate = sigmoid(gates[:, :h_dim])
+        forget_gate = sigmoid(gates[:, h_dim:2 * h_dim])
+        cell_candidate = tanh(gates[:, 2 * h_dim:3 * h_dim])
+        output_gate = sigmoid(gates[:, 3 * h_dim:])
+        c = forget_gate * c_prev + input_gate * cell_candidate
+        tanh_c = tanh(c)
+        h = output_gate * tanh_c
+        cache = {
+            "x": x, "h_prev": h_prev, "c_prev": c_prev,
+            "input_gate": input_gate, "forget_gate": forget_gate,
+            "cell_candidate": cell_candidate, "output_gate": output_gate,
+            "c": c, "tanh_c": tanh_c,
+        }
+        return h, c, cache
+
+    def backward_batch(
+        self, grad_h: np.ndarray, grad_c: np.ndarray, cache: dict
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One backward step for a batch; mirrors :meth:`backward` row-wise.
+
+        All gradients have shape ``(B, hidden_dim)`` and the cache must come
+        from :meth:`forward_batch_cached`. Returns
+        ``(grad_x, grad_h_prev, grad_c_prev)``. Rows whose incoming gradients
+        are zero (padded positions of ragged batches) contribute nothing to
+        the parameter gradients.
+        """
+        input_gate = cache["input_gate"]
+        forget_gate = cache["forget_gate"]
+        cell_candidate = cache["cell_candidate"]
+        output_gate = cache["output_gate"]
+        tanh_c = cache["tanh_c"]
+
+        grad_output_gate = grad_h * tanh_c
+        grad_c_total = grad_c + grad_h * output_gate * (1.0 - tanh_c ** 2)
+        grad_input_gate = grad_c_total * cell_candidate
+        grad_forget_gate = grad_c_total * cache["c_prev"]
+        grad_cell_candidate = grad_c_total * input_gate
+        grad_c_prev = grad_c_total * forget_gate
+
+        d_gates = np.concatenate([
+            grad_input_gate * input_gate * (1.0 - input_gate),
+            grad_forget_gate * forget_gate * (1.0 - forget_gate),
+            grad_cell_candidate * (1.0 - cell_candidate ** 2),
+            grad_output_gate * output_gate * (1.0 - output_gate),
+        ], axis=1)
+
+        self.weight_input.grad += cache["x"].T @ d_gates
+        self.weight_hidden.grad += cache["h_prev"].T @ d_gates
+        self.bias.grad += d_gates.sum(axis=0)
+
+        grad_x = d_gates @ self.weight_input.value.T
+        grad_h_prev = d_gates @ self.weight_hidden.value.T
+        return grad_x, grad_h_prev, grad_c_prev
+
     def backward(
         self, grad_h: np.ndarray, grad_c: np.ndarray, cache: dict
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -192,6 +283,61 @@ class LSTM(Module):
             grad_x, grad_h_next, grad_c_next = self.cell.backward(
                 grad_h, grad_c_next, caches[t])
             grad_inputs[t] = grad_x
+        return grad_inputs
+
+    def forward_batch(
+        self,
+        inputs: np.ndarray,
+        h0: Optional[np.ndarray] = None,
+        c0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, List[dict]]:
+        """Run the LSTM over a batch of sequences, shape ``(B, T, input_dim)``.
+
+        Ragged batches must be padded at the tail (any valid values); padded
+        steps are rendered inert by zeroing their loss gradients before
+        :meth:`backward_batch`. Returns the hidden states ``(B, T, hidden)``
+        and the per-step caches.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_dim:
+            raise ModelError(
+                f"inputs must have shape (B, T, {self.input_dim}), "
+                f"got {inputs.shape}")
+        batch, steps = inputs.shape[:2]
+        h = (np.zeros((batch, self.hidden_dim)) if h0 is None
+             else np.asarray(h0, dtype=np.float64))
+        c = (np.zeros((batch, self.hidden_dim)) if c0 is None
+             else np.asarray(c0, dtype=np.float64))
+        hidden_states = np.zeros((batch, steps, self.hidden_dim))
+        caches: List[dict] = []
+        for t in range(steps):
+            h, c, cache = self.cell.forward_batch_cached(inputs[:, t], h, c)
+            hidden_states[:, t] = h
+            caches.append(cache)
+        return hidden_states, caches
+
+    def backward_batch(self, grad_hidden: np.ndarray,
+                       caches: List[dict]) -> np.ndarray:
+        """Batched backpropagation through time.
+
+        ``grad_hidden`` has shape ``(B, T, hidden_dim)`` with zeros at padded
+        positions; the return value is the gradient with respect to the
+        inputs, shape ``(B, T, input_dim)``.
+        """
+        grad_hidden = np.asarray(grad_hidden, dtype=np.float64)
+        if not caches:
+            raise ModelError("backward_batch needs the forward caches")
+        batch = len(caches[0]["x"])
+        if grad_hidden.shape != (batch, len(caches), self.hidden_dim):
+            raise ModelError("grad_hidden shape must match the forward pass")
+        grad_inputs = np.zeros((batch, len(caches), self.input_dim))
+        grad_h_next = np.zeros((batch, self.hidden_dim))
+        grad_c_next = np.zeros((batch, self.hidden_dim))
+        for t in range(len(caches) - 1, -1, -1):
+            grad_h = grad_hidden[:, t] + grad_h_next
+            grad_x, grad_h_next, grad_c_next = self.cell.backward_batch(
+                grad_h, grad_c_next, caches[t])
+            grad_inputs[:, t] = grad_x
         return grad_inputs
 
 

@@ -1,0 +1,342 @@
+"""Tests of the batched training engine.
+
+The central contract: with ``batch_size=1`` the batched engine is numerically
+equivalent to the sequential per-trajectory loop (same random stream, same
+gradient steps, same final model), and with larger batch sizes it is a
+well-behaved minibatch variant over ragged (padded + masked) trajectory
+batches. The differential tests here mirror ``tests/test_stream_engine.py``,
+which pins the batched *inference* engine the same way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (ASDNetConfig, LabelingConfig, RSRNetConfig,
+                          TrainingConfig)
+from repro.core import OnlineLearner, RL4OASDTrainer, TrainingReport
+from repro.core.detector import rnel_from_degrees, rnel_from_degrees_batch
+from repro.exceptions import ConfigurationError, ModelError
+from repro.nn import (LSTM, cosine_similarity, cosine_similarity_rows,
+                      cross_entropy_from_logits,
+                      sequence_cross_entropy_from_logits)
+
+
+# ------------------------------------------------------------ nn primitives
+def test_lstm_batched_backward_matches_sequential(rng):
+    """Batched BPTT over a ragged batch accumulates the same gradients as
+    running (and summing) the per-sequence backward passes."""
+    lstm = LSTM(input_dim=5, hidden_dim=4, rng=np.random.default_rng(1))
+    lengths = [6, 3, 1, 5]
+    batch, horizon = len(lengths), max(lengths)
+    inputs = rng.normal(size=(batch, horizon, 5))
+    grad_hidden = rng.normal(size=(batch, horizon, 4))
+    for b, n in enumerate(lengths):  # padded positions carry no gradient
+        inputs[b, n:] = 0.0
+        grad_hidden[b, n:] = 0.0
+
+    lstm.zero_grad()
+    sequential_inputs_grad = np.zeros_like(inputs)
+    sequential_hidden = []
+    for b, n in enumerate(lengths):
+        hidden, caches = lstm.forward(inputs[b, :n])
+        sequential_hidden.append(hidden)
+        sequential_inputs_grad[b, :n] = lstm.backward(grad_hidden[b, :n], caches)
+    sequential_grads = [p.grad.copy() for p in lstm.parameters()]
+
+    lstm.zero_grad()
+    hidden_batch, caches = lstm.forward_batch(inputs)
+    for b, n in enumerate(lengths):
+        np.testing.assert_allclose(hidden_batch[b, :n], sequential_hidden[b],
+                                   atol=1e-12)
+    batched_inputs_grad = lstm.backward_batch(grad_hidden, caches)
+    for sequential, parameter in zip(sequential_grads, lstm.parameters()):
+        np.testing.assert_allclose(parameter.grad, sequential, atol=1e-10)
+    np.testing.assert_allclose(batched_inputs_grad, sequential_inputs_grad,
+                               atol=1e-10)
+
+
+def test_sequence_cross_entropy_matches_per_sequence(rng):
+    lengths = [4, 7, 1]
+    batch, horizon, classes = len(lengths), max(lengths), 2
+    logits = rng.normal(size=(batch, horizon, classes))
+    targets = rng.integers(0, classes, size=(batch, horizon))
+    losses, grad = sequence_cross_entropy_from_logits(logits, targets, lengths)
+    for b, n in enumerate(lengths):
+        loss_b, grad_b = cross_entropy_from_logits(logits[b, :n], targets[b, :n])
+        assert losses[b] == pytest.approx(loss_b)
+        np.testing.assert_allclose(grad[b, :n], grad_b / batch, atol=1e-12)
+        assert np.all(grad[b, n:] == 0.0)
+
+
+def test_sequence_cross_entropy_validates_shapes():
+    logits = np.zeros((2, 3, 2))
+    with pytest.raises(ModelError):
+        sequence_cross_entropy_from_logits(logits, np.zeros((2, 2), int), [3, 3])
+    with pytest.raises(ModelError):
+        sequence_cross_entropy_from_logits(logits, np.zeros((2, 3), int), [3, 4])
+    with pytest.raises(ModelError):
+        sequence_cross_entropy_from_logits(logits, np.zeros((2, 3), int), [3, 0])
+
+
+def test_cosine_similarity_rows_matches_scalar(rng):
+    a = rng.normal(size=(5, 4))
+    b = rng.normal(size=(5, 4))
+    a[2] = 0.0  # zero vector -> similarity 0 by convention
+    rows = cosine_similarity_rows(a, b)
+    for i in range(5):
+        assert rows[i] == pytest.approx(cosine_similarity(a[i], b[i]))
+
+
+def test_rnel_from_degrees_batch_matches_scalar():
+    out_degrees, in_degrees, previous = [], [], []
+    for out_degree in (1, 2, 3):
+        for in_degree in (1, 2, 3):
+            for label in (0, 1):
+                out_degrees.append(out_degree)
+                in_degrees.append(in_degree)
+                previous.append(label)
+    batched = rnel_from_degrees_batch(out_degrees, in_degrees, previous)
+    for index, decided in enumerate(batched):
+        scalar = rnel_from_degrees(out_degrees[index], in_degrees[index],
+                                   previous[index])
+        assert (scalar if scalar is not None else -1) == decided
+
+
+# ------------------------------------------------- differential equivalence
+def _make_trainer(dataset, train, development, **training_overrides):
+    overrides = dict(pretrain_trajectories=40, pretrain_epochs=2,
+                     joint_trajectories=30, joint_epochs=1,
+                     validation_interval=10, seed=7)
+    overrides.update(training_overrides)
+    return RL4OASDTrainer(
+        dataset.network, train,
+        labeling_config=LabelingConfig(alpha=0.35, delta=0.25),
+        rsrnet_config=RSRNetConfig(embedding_dim=12, hidden_dim=12, nrf_dim=6,
+                                   seed=5),
+        asdnet_config=ASDNetConfig(label_embedding_dim=6, seed=6),
+        training_config=TrainingConfig(**overrides),
+        development_set=development[:10],
+    )
+
+
+def test_batched_engine_is_equivalent_at_batch_size_1(dataset, dataset_split):
+    """The tentpole differential test: full training through the batched
+    engine at batch size 1 yields the same model as the sequential loop."""
+    train, development, test = dataset_split
+    sequential = _make_trainer(dataset, train, development)
+    sequential_model = sequential.train()
+    batched = _make_trainer(dataset, train, development, batched=True)
+    assert batched.uses_batched_training
+    batched_model = batched.train()
+
+    for name, value in sequential_model.rsrnet.state_dict().items():
+        np.testing.assert_allclose(batched_model.rsrnet.state_dict()[name],
+                                   value, atol=1e-8)
+    for name, value in sequential_model.asdnet.state_dict().items():
+        np.testing.assert_allclose(batched_model.asdnet.state_dict()[name],
+                                   value, atol=1e-8)
+
+    np.testing.assert_allclose(batched.report.pretrain_losses,
+                               sequential.report.pretrain_losses, atol=1e-8)
+    np.testing.assert_allclose(batched.report.joint_losses,
+                               sequential.report.joint_losses, atol=1e-8)
+    np.testing.assert_allclose(batched.report.episode_returns,
+                               sequential.report.episode_returns, atol=1e-8)
+    np.testing.assert_allclose(batched.report.validation_f1,
+                               sequential.report.validation_f1, atol=1e-8)
+
+    for trajectory in test[:20]:
+        assert (batched_model.detector().detect(trajectory).labels
+                == sequential_model.detector().detect(trajectory).labels)
+
+
+def test_batched_fine_tune_is_equivalent_at_batch_size_1(dataset, dataset_split):
+    train, development, _ = dataset_split
+    sequential = _make_trainer(dataset, train[:120], development)
+    sequential.train()
+    batched = _make_trainer(dataset, train[:120], development, batched=True)
+    batched.train()
+
+    sequential.fine_tune(train[120:140], epochs=2)
+    batched.fine_tune(train[120:140], epochs=2)
+    for name, value in sequential.rsrnet.state_dict().items():
+        np.testing.assert_allclose(batched.rsrnet.state_dict()[name], value,
+                                   atol=1e-8)
+    for name, value in sequential.asdnet.state_dict().items():
+        np.testing.assert_allclose(batched.asdnet.state_dict()[name], value,
+                                   atol=1e-8)
+    np.testing.assert_allclose(batched.report.joint_losses,
+                               sequential.report.joint_losses, atol=1e-8)
+
+
+# ---------------------------------------------------------- larger batches
+def test_batched_training_with_ragged_batches(dataset, dataset_split):
+    """Batch size 8 over trajectories of different lengths yields a usable
+    model and the same report structure as the sequential engine."""
+    train, development, test = dataset_split
+    lengths = {len(t) for t in train[:32]}
+    assert len(lengths) > 1  # the batches really are ragged
+    trainer = _make_trainer(dataset, train, development, batch_size=8)
+    assert trainer.uses_batched_training
+    model = trainer.train()
+    report = trainer.report
+    assert len(report.pretrain_losses) == 40 * 2
+    assert len(report.joint_losses) == 30
+    assert len(report.episode_returns) == 30
+    assert report.validation_f1
+    assert np.isfinite(report.best_validation_f1)
+    for trajectory in test[:5]:
+        labels = model.detector().detect(trajectory).labels
+        assert len(labels) == len(trajectory)
+        assert set(labels) <= {0, 1}
+        assert labels[0] == 0 and labels[-1] == 0
+
+
+@pytest.mark.parametrize("flag", ["use_rnel", "use_asdnet", "use_noisy_labels",
+                                  "use_local_reward", "use_global_reward"])
+def test_batched_training_ablations_run(dataset, dataset_split, flag):
+    train, development, test = dataset_split
+    trainer = _make_trainer(dataset, train, development,
+                            batch_size=4, pretrain_trajectories=16,
+                            joint_trajectories=8, **{flag: False})
+    model = trainer.train()
+    result = model.detector().detect(test[0])
+    assert len(result.labels) == len(test[0])
+
+
+def test_sequential_config_keeps_sequential_engine(dataset, dataset_split):
+    train, development, _ = dataset_split
+    trainer = _make_trainer(dataset, train, development)
+    assert not trainer.uses_batched_training
+    forced_off = _make_trainer(dataset, train, development, batch_size=8,
+                               batched=False)
+    assert not forced_off.uses_batched_training
+
+
+def test_training_config_validates_batch_size():
+    with pytest.raises(ConfigurationError):
+        TrainingConfig(batch_size=0).validate()
+
+
+def test_explicit_fine_tune_batch_size_overrides_engine_choice(
+        dataset, dataset_split, monkeypatch):
+    """Regression: fine_tune(batch_size=N>1) must use the batched engine even
+    when the configuration forced the sequential loop (batched=False)."""
+    train, development, _ = dataset_split
+    trainer = _make_trainer(dataset, train[:60], development,
+                            pretrain_trajectories=10, joint_trajectories=4,
+                            batched=False)
+    trainer.train()
+    calls = []
+    original = RL4OASDTrainer._run_episode_batch
+
+    def spy(self, *args, **kwargs):
+        calls.append(True)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(RL4OASDTrainer, "_run_episode_batch", spy)
+    trainer.fine_tune(train[60:76], batch_size=8)
+    assert calls  # the batched engine really ran
+
+
+def test_fine_tune_rejects_invalid_batch_size(dataset, dataset_split):
+    train, development, _ = dataset_split
+    trainer = _make_trainer(dataset, train[:60], development)
+    with pytest.raises(ModelError):
+        trainer.fine_tune(train[60:70], batch_size=0)
+
+
+# ----------------------------------------------------- reporting paths
+def test_training_report_summary_contents():
+    report = TrainingReport(
+        pretrain_losses=[0.5, 0.4],
+        joint_losses=[0.3, 0.2],
+        episode_returns=[1.0, 3.0],
+        best_validation_f1=0.75,
+        pretrain_seconds=1.5,
+        joint_seconds=2.5,
+    )
+    summary = report.summary()
+    assert summary["pretrain_seconds"] == 1.5
+    assert summary["joint_seconds"] == 2.5
+    assert summary["final_joint_loss"] == 0.2
+    assert summary["mean_episode_return"] == pytest.approx(2.0)
+    assert summary["best_validation_f1"] == 0.75
+    assert report.total_seconds == pytest.approx(4.0)
+
+
+def test_training_report_summary_handles_empty_runs():
+    summary = TrainingReport().summary()
+    assert np.isnan(summary["final_joint_loss"])
+    assert np.isnan(summary["mean_episode_return"])
+    assert np.isnan(summary["best_validation_f1"])
+    assert summary["pretrain_seconds"] == 0.0
+
+
+class _RecordingTrainer:
+    """A stub trainer that records how fine_tune was invoked."""
+
+    def __init__(self):
+        self.calls = []
+
+    def train(self):
+        return object()
+
+    def fine_tune(self, trajectories, epochs=1, batch_size=None):
+        self.calls.append((len(trajectories), epochs, batch_size))
+
+
+def test_online_learner_training_time_by_part():
+    trainer = _RecordingTrainer()
+    learner = OnlineLearner(trainer, fine_tune_epochs=2, batch_size=16)
+    learner.initial_fit()
+    first = learner.observe_part(1, [object()] * 5)
+    second = learner.observe_part(2, [object()] * 3)
+    times = learner.training_time_by_part()
+    assert set(times) == {1, 2}
+    assert times[1] == first.seconds and times[2] == second.seconds
+    assert all(seconds >= 0 for seconds in times.values())
+    # The learner's batch size reaches the trainer on every round.
+    assert trainer.calls == [(5, 2, 16), (3, 2, 16)]
+
+
+def test_online_learner_default_keeps_trainer_signature():
+    """Without a batch size the learner must not pass the keyword at all, so
+    trainers with the pre-batching fine_tune signature keep working."""
+
+    class LegacyTrainer:
+        def __init__(self):
+            self.calls = []
+
+        def train(self):
+            return object()
+
+        def fine_tune(self, trajectories, epochs=1):  # no batch_size kwarg
+            self.calls.append((len(trajectories), epochs))
+
+    trainer = LegacyTrainer()
+    learner = OnlineLearner(trainer)
+    learner.initial_fit()
+    learner.observe_part(1, [object()] * 4)
+    assert trainer.calls == [(4, 1)]
+
+
+def test_online_learner_validates_batch_size(dataset, dataset_split):
+    train, _, _ = dataset_split
+    trainer = RL4OASDTrainer(dataset.network, train[:40])
+    with pytest.raises(ModelError):
+        OnlineLearner(trainer, batch_size=0)
+
+
+def test_online_learner_batched_fine_tuning_workflow(dataset, dataset_split):
+    """End to end: a learner fine-tuning through the batched engine."""
+    train, development, test = dataset_split
+    trainer = _make_trainer(dataset, train[:120], development,
+                            pretrain_trajectories=20, joint_trajectories=8)
+    learner = OnlineLearner(trainer, batch_size=16)
+    learner.initial_fit()
+    record = learner.observe_part(1, train[120:150])
+    assert record.num_trajectories == 30
+    assert learner.training_time_by_part()[1] == record.seconds
+    labels = learner.detector().detect(test[0]).labels
+    assert len(labels) == len(test[0])

@@ -1,0 +1,118 @@
+"""Documentation checks run by the CI docs job.
+
+Three checks, no third-party dependencies beyond the library's own:
+
+1. **Internal links** — every relative markdown link in ``docs/*.md`` (and
+   the README) must point at a file or directory that exists.
+2. **Example syntax** — every fenced ``python`` block in the docs must be
+   valid Python (compiled, not executed: the examples train models).
+3. **Import smoke** — every documented public module imports, and the names
+   the docs present as the public API exist where they say they do.
+
+Run locally with::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+LINK_PATTERN = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+FENCE_PATTERN = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+#: module -> names the docs promise it exposes
+PUBLIC_SURFACE = {
+    "repro.core": [
+        "RL4OASDTrainer", "RL4OASDModel", "TrainingReport", "OnlineDetector",
+        "OnlineLearner", "StreamEngine", "replay_fleet",
+    ],
+    "repro.core.rl4oasd": ["RL4OASDTrainer", "RL4OASDModel"],
+    "repro.core.asdnet": ["ASDNet", "BatchedEpisode"],
+    "repro.core.rsrnet": ["RSRNet"],
+    "repro.core.stream": ["StreamEngine", "SegmentFeatureCache"],
+    "repro.core.online": ["OnlineLearner", "FineTuneRecord"],
+    "repro.core.detector": ["OnlineDetector", "rnel_from_degrees_batch"],
+    "repro.eval": [
+        "evaluate_labelings", "evaluate_detector", "measure_detector",
+        "measure_throughput", "measure_training_throughput",
+        "ThroughputReport", "TrainingThroughputReport",
+    ],
+    "repro.nn": [
+        "LSTM", "LSTMCell", "sequence_cross_entropy_from_logits",
+        "cosine_similarity_rows",
+    ],
+    "repro.experiments.common": ["prepare_city", "train_rl4oasd"],
+    "repro.datagen": ["tiny_dataset"],
+    "repro.config": ["TrainingConfig"],
+}
+
+
+def check_links() -> list:
+    errors = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK_PATTERN.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def check_python_fences() -> list:
+    errors = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for index, match in enumerate(FENCE_PATTERN.finditer(text), start=1):
+            source = match.group(1)
+            try:
+                compile(source, f"{doc.name}:fence{index}", "exec")
+            except SyntaxError as error:
+                errors.append(f"{doc.relative_to(REPO)}: python fence "
+                              f"#{index} does not compile: {error}")
+    return errors
+
+
+def check_imports() -> list:
+    import importlib
+
+    errors = []
+    for module_name, names in PUBLIC_SURFACE.items():
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            errors.append(f"import {module_name} failed: {error}")
+            continue
+        for name in names:
+            if not hasattr(module, name):
+                errors.append(f"{module_name} is missing documented "
+                              f"name {name!r}")
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_python_fences() + check_imports()
+    for error in errors:
+        print(f"ERROR: {error}")
+    checked = ", ".join(str(d.relative_to(REPO)) for d in DOC_FILES)
+    if errors:
+        print(f"\n{len(errors)} documentation problem(s) in: {checked}")
+        return 1
+    print(f"docs OK: links, python fences and public imports verified "
+          f"({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
