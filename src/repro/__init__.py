@@ -11,6 +11,8 @@ The package is organised bottom-up:
 * :mod:`repro.embeddings` — road-segment representation learning (Toast substitute)
 * :mod:`repro.labeling` — noisy labels and normal-route features
 * :mod:`repro.core` — RSRNet, ASDNet, the RL4OASD trainer and the online detector
+* :mod:`repro.serve` — the serving layer: sharded multi-worker detection
+  service, checkpoints, model hot-swap
 * :mod:`repro.baselines` — IBOAT, DBTOD, CTSS, SAE/VSAE/GM-VSAE/SD-VSAE, …
 * :mod:`repro.eval` — F1/TF1 metrics, length grouping, timing harnesses
 * :mod:`repro.experiments` — one harness per table/figure of the paper
@@ -34,6 +36,7 @@ from .config import (
     RL4OASDConfig,
     RoadNetworkConfig,
     RSRNetConfig,
+    ServeConfig,
     TrainingConfig,
     small_config,
 )
@@ -53,5 +56,6 @@ __all__ = [
     "RSRNetConfig",
     "ASDNetConfig",
     "TrainingConfig",
+    "ServeConfig",
     "small_config",
 ]

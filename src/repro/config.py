@@ -185,6 +185,12 @@ class TrainingConfig:
     batch size 1 (used by the differential tests that pin the two engines
     equal), ``False`` forces the sequential loop, and ``None`` picks the
     batched engine whenever ``batch_size > 1``.
+
+    ``bucket_by_length`` assembles batches from length-sorted trajectories so
+    ragged batches waste less padding (a batch's cost is ``B * max(n_b)``).
+    It only takes effect at ``batch_size > 1``: with a single trajectory per
+    batch there is no padding to save, and keeping the original order
+    preserves the batch-size-1 equivalence with the sequential loop.
     """
 
     pretrain_trajectories: int = 200
@@ -193,6 +199,7 @@ class TrainingConfig:
     joint_epochs: int = 5
     batch_size: int = 1
     batched: Optional[bool] = None
+    bucket_by_length: bool = True
     validation_interval: int = 100
     validation_sample: int = 100
     delayed_labeling_window: int = 8
@@ -219,6 +226,35 @@ class TrainingConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of the sharded detection service (:mod:`repro.serve`).
+
+    ``backend`` selects how shards execute: ``"inprocess"`` runs every shard
+    engine in the calling process (deterministic, no IPC — the test and
+    debugging backend), ``"process"`` runs one OS process per shard fed
+    through bounded queues (the throughput backend). ``queue_depth`` bounds
+    the per-shard ingest queue; a full queue surfaces as backpressure
+    (``IngestStatus.RETRY_LATER``) instead of unbounded buffering.
+    ``start_method`` picks the multiprocessing start method (``None`` keeps
+    the platform default, e.g. ``fork`` on Linux).
+    """
+
+    num_shards: int = 2
+    backend: str = "inprocess"
+    queue_depth: int = 256
+    start_method: Optional[str] = None
+
+    def validate(self) -> "ServeConfig":
+        _require(self.num_shards >= 1, "num_shards must be >= 1")
+        _require(self.backend in ("inprocess", "process"),
+                 "backend must be 'inprocess' or 'process'")
+        _require(self.queue_depth >= 1, "queue_depth must be >= 1")
+        _require(self.start_method in (None, "fork", "spawn", "forkserver"),
+                 "start_method must be None, 'fork', 'spawn' or 'forkserver'")
+        return self
+
+
+@dataclass(frozen=True)
 class RL4OASDConfig:
     """Top-level configuration bundling every component."""
 
@@ -230,6 +266,7 @@ class RL4OASDConfig:
     rsrnet: RSRNetConfig = field(default_factory=RSRNetConfig)
     asdnet: ASDNetConfig = field(default_factory=ASDNetConfig)
     training: TrainingConfig = field(default_factory=TrainingConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
 
     def validate(self) -> "RL4OASDConfig":
         self.road_network.validate()
@@ -240,6 +277,7 @@ class RL4OASDConfig:
         self.rsrnet.validate()
         self.asdnet.validate()
         self.training.validate()
+        self.serve.validate()
         return self
 
     def with_overrides(self, **sections) -> "RL4OASDConfig":

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..exceptions import ModelError
 from ..trajectory.models import MatchedTrajectory
 from .detector import OnlineDetector
 from .rl4oasd import RL4OASDModel, RL4OASDTrainer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..serve.service import DetectionService
 
 
 @dataclass
@@ -57,6 +60,7 @@ class OnlineLearner:
         self._batch_size = batch_size
         self._records: List[FineTuneRecord] = []
         self._model: Optional[RL4OASDModel] = None
+        self._services: List["DetectionService"] = []
 
     @property
     def records(self) -> List[FineTuneRecord]:
@@ -65,6 +69,33 @@ class OnlineLearner:
     @property
     def trainer(self) -> RL4OASDTrainer:
         return self._trainer
+
+    @property
+    def model(self) -> RL4OASDModel:
+        """The current (possibly fine-tuned) model."""
+        if self._model is None:
+            raise ModelError("call initial_fit() before requesting the model")
+        return self._model
+
+    def attach_service(self, service: "DetectionService") -> "DetectionService":
+        """Keep a detection service's weights current with this learner.
+
+        After every :meth:`observe_part` fine-tuning round the learner
+        hot-swaps its refreshed weights into the attached service
+        (:meth:`~repro.serve.service.DetectionService.swap_model`) — every
+        shard switches atomically, in-flight streams keep running. Returns
+        the service, so ``learner.attach_service(model.detection_service())``
+        reads naturally. Attach any number of services; detach by
+        :meth:`detach_service`.
+        """
+        if service not in self._services:
+            self._services.append(service)
+        return service
+
+    def detach_service(self, service: "DetectionService") -> None:
+        """Stop pushing weight updates to ``service`` (no-op if unknown)."""
+        if service in self._services:
+            self._services.remove(service)
 
     def initial_fit(self) -> RL4OASDModel:
         """Train the model on the initial data partition (Part 1)."""
@@ -88,7 +119,29 @@ class OnlineLearner:
             seconds=time.perf_counter() - started,
         )
         self._records.append(record)
+        self._push_to_services()
         return record
+
+    def _push_to_services(self) -> None:
+        """Hot-swap the current weights into every attached service.
+
+        Closed services are dropped silently (their streams are gone anyway)
+        and a failing swap on one service never blocks the push to the
+        others — the first failure is re-raised once every reachable service
+        has been updated.
+        """
+        first_error: Optional[BaseException] = None
+        for service in list(self._services):
+            if service.closed:
+                self._services.remove(service)
+                continue
+            try:
+                service.swap_model(self._model)
+            except Exception as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
 
     def detector(self, greedy: bool = True, seed: int = 0) -> OnlineDetector:
         """A detector using the current (possibly fine-tuned) model."""

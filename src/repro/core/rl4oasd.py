@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (Dict, Iterator, List, Optional, Sequence, Tuple,
+                    TYPE_CHECKING, Union)
 
 import numpy as np
 
@@ -47,6 +49,7 @@ from ..config import (
     LabelingConfig,
     RL4OASDConfig,
     RSRNetConfig,
+    ServeConfig,
     TrainingConfig,
 )
 from ..exceptions import ModelError, NotFittedError
@@ -58,6 +61,9 @@ from .asdnet import ASDNet, BatchedEpisode, Episode
 from .detector import OnlineDetector, apply_rnel, rnel_from_degrees_batch
 from .rewards import episode_return, global_reward, local_reward
 from .rsrnet import RSRNet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..serve.service import DetectionService
 
 
 def _chunks(items: Sequence, size: int) -> Iterator[Sequence]:
@@ -151,6 +157,49 @@ class RL4OASDModel:
         from .stream import StreamEngine
 
         return StreamEngine.from_model(self, **overrides)
+
+    def detection_service(self, serve_config: Optional[ServeConfig] = None,
+                          **overrides) -> "DetectionService":
+        """A sharded detection service serving a snapshot of this model.
+
+        Keyword arguments are those of
+        :class:`~repro.serve.service.DetectionService` (``num_shards``,
+        ``backend``, ``queue_depth``, ``start_method``, plus stream-engine
+        overrides); a :class:`~repro.config.ServeConfig` supplies the
+        defaults and explicit keywords win over it.
+        """
+        from ..serve.service import DetectionService
+
+        options = {}
+        if serve_config is not None:
+            serve_config.validate()
+            options.update(
+                num_shards=serve_config.num_shards,
+                backend=serve_config.backend,
+                queue_depth=serve_config.queue_depth,
+                start_method=serve_config.start_method,
+            )
+        options.update(overrides)
+        return DetectionService(self, **options)
+
+    # ----------------------------------------------------------- persistence
+    def save(self, path: Union[str, Path]) -> Path:
+        """Checkpoint this model to ``path`` (weights + configs + pipeline).
+
+        The checkpoint reloads into a model that detects identically
+        (:meth:`load`); training-only state (optimizer moments, REINFORCE
+        baseline) is not persisted. See :mod:`repro.serve.checkpoint`.
+        """
+        from ..serve.checkpoint import save_model
+
+        return save_model(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RL4OASDModel":
+        """Load a model previously written by :meth:`save`."""
+        from ..serve.checkpoint import load_model
+
+        return load_model(path)
 
 
 class RL4OASDTrainer:
@@ -300,7 +349,8 @@ class RL4OASDTrainer:
         config = self._training_config
         preprocessed = [self._pipeline.preprocess(t) for t in sample]
         for _ in range(config.pretrain_epochs):
-            for chunk in _chunks(preprocessed, config.batch_size):
+            for chunk in self._training_chunks(preprocessed,
+                                               config.batch_size):
                 prep = self._prepare_batch(chunk, with_degrees=False)
                 labels = self._pad_labels(
                     [self._training_labels(p) for p in chunk], prep.horizon)
@@ -309,7 +359,8 @@ class RL4OASDTrainer:
                 losses = self._rsrnet.train_step_batch(labels, cache)
                 self._report.pretrain_losses.extend(float(l) for l in losses)
             if config.use_asdnet:
-                for chunk in _chunks(preprocessed, config.batch_size):
+                for chunk in self._training_chunks(preprocessed,
+                                               config.batch_size):
                     prep = self._prepare_batch(chunk, with_degrees=False)
                     forced = [self._training_labels(p) for p in chunk]
                     self._run_episode_batch(prep, forced_labels=forced)
@@ -335,7 +386,7 @@ class RL4OASDTrainer:
 
         if self.uses_batched_training:
             processed = 0
-            for chunk in _chunks(sample, config.batch_size):
+            for chunk in self._training_chunks(sample, config.batch_size):
                 preprocessed = [self._pipeline.preprocess(t) for t in chunk]
                 prep = self._prepare_batch(preprocessed,
                                            with_degrees=config.use_rnel)
@@ -379,14 +430,24 @@ class RL4OASDTrainer:
         self._report.best_validation_f1 = best_f1
         self._report.joint_seconds = time.perf_counter() - started
 
+    #: Concurrent streams a validation pass multiplexes through one engine.
+    VALIDATION_CONCURRENCY = 64
+
     def _validation_f1(self) -> float:
         """F1 of the current model on the development set.
 
         When no development set was provided, the noisy labels of a fixed
         sample of training trajectories act as pseudo ground truth — this
         keeps model selection label-free, at the cost of a noisier signal.
+
+        The whole reference set replays as one concurrent fleet through a
+        :class:`~repro.core.stream.StreamEngine` (one batched forward pass
+        per tick) instead of one trajectory at a time; the engine is pinned
+        label-identical to :class:`OnlineDetector`, so the score — and
+        therefore best-model selection — is unchanged, only cheaper.
         """
         from ..eval.metrics import evaluate_labelings
+        from .stream import StreamEngine, replay_fleet
 
         config = self._training_config
         if self._development_set:
@@ -398,7 +459,7 @@ class RL4OASDTrainer:
                 self._pipeline.preprocess(trajectory).noisy_labels
                 for trajectory in reference
             ]
-        detector = OnlineDetector(
+        engine = StreamEngine(
             rsrnet=self._rsrnet,
             asdnet=self._asdnet,
             pipeline=self._pipeline,
@@ -407,7 +468,9 @@ class RL4OASDTrainer:
             delay_window=config.delayed_labeling_window,
             greedy=True,
         )
-        predictions = [detector.detect(trajectory).labels for trajectory in reference]
+        results = replay_fleet(engine, reference,
+                               concurrency=self.VALIDATION_CONCURRENCY)
+        predictions = [result.labels for result in results]
         report = evaluate_labelings(truths, predictions)
         return report.f1
 
@@ -474,6 +537,22 @@ class RL4OASDTrainer:
         return labels, episode_value
 
     # ------------------------------------------------------ batched engine
+    def _training_chunks(self, items: Sequence, size: int) -> Iterator[Sequence]:
+        """Assemble training batches, length-bucketed when that cuts padding.
+
+        A padded batch costs ``B * max_b(n_b)`` whatever the individual
+        lengths, so mixing a 60-segment trip with 10-segment trips wastes
+        most of the batch on masked positions. With
+        :attr:`TrainingConfig.bucket_by_length` (the default) and a real
+        batch size, items are stably sorted by trajectory length first, so
+        each batch spans near-uniform lengths. At ``batch_size == 1`` the
+        original order is always kept — there is no padding to save, and the
+        sequential-loop equivalence pins that ordering.
+        """
+        if size > 1 and self._training_config.bucket_by_length:
+            items = sorted(items, key=len)  # stable: ties keep sample order
+        return _chunks(items, size)
+
     def _segment_degrees(self, segment: int) -> Tuple[int, int]:
         """Cached ``(out_degree, in_degree)`` of one road segment."""
         degrees = self._degree_cache.get(segment)
@@ -642,7 +721,7 @@ class RL4OASDTrainer:
         if batched:
             items = list(new_trajectories)
             for _ in range(max(1, epochs)):
-                for chunk in _chunks(items, effective_batch):
+                for chunk in self._training_chunks(items, effective_batch):
                     preprocessed = [self._pipeline.preprocess(t) for t in chunk]
                     prep = self._prepare_batch(
                         preprocessed,

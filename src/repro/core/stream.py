@@ -183,6 +183,10 @@ class StreamEngine:
         self._hidden_pool = np.zeros((self._capacity, self._hidden_dim))
         self._cell_pool = np.zeros((self._capacity, self._hidden_dim))
         self._free_slots = list(range(self._capacity))
+        # Lifetime counters surfaced by the serving layer's shard metrics.
+        self.points_processed = 0
+        self.ticks = 0
+        self.streams_finalized = 0
 
     @classmethod
     def from_model(cls, model: "RL4OASDModel", **overrides) -> "StreamEngine":
@@ -209,8 +213,31 @@ class StreamEngine:
         stream = self._stream(vehicle_id)
         return len(stream.segments) - stream.processed
 
+    def total_pending_points(self) -> int:
+        """Points ingested but not yet labeled, across all active streams."""
+        return sum(len(stream.segments) - stream.processed
+                   for stream in self._streams.values())
+
     def invalidate_cache(self) -> None:
         """Drop cached segment features (call after fine-tuning the model)."""
+        self._cache.clear()
+
+    def load_weights(self, rsrnet_state: Dict[str, np.ndarray],
+                     asdnet_state: Dict[str, np.ndarray]) -> None:
+        """Hot-swap the model weights under the engine's active streams.
+
+        Loads ``state_dict`` snapshots into both networks and invalidates the
+        segment-feature cache (its records embed the old weights). Per-stream
+        recurrent state, emitted labels and buffered points are untouched, so
+        in-flight trips keep running: points labeled before the swap keep
+        their old-model labels, later points are labeled by the new model.
+        Both state dicts are validated before either is applied, so a
+        mismatched snapshot leaves the engine fully on the old weights.
+        """
+        self._rsrnet.validate_state_dict(rsrnet_state)
+        self._asdnet.validate_state_dict(asdnet_state)
+        self._rsrnet.load_state_dict(rsrnet_state)
+        self._asdnet.load_state_dict(asdnet_state)
         self._cache.clear()
 
     # -------------------------------------------------------------- ingestion
@@ -395,6 +422,8 @@ class StreamEngine:
             stream.previous_record = record
             if self._record_timing:
                 stream.per_point_seconds.append(share)
+        self.points_processed += len(work)
+        self.ticks += 1
         return len(work)
 
     def _normal_route_feature(self, stream: _StreamState, index: int,
@@ -480,6 +509,7 @@ class StreamEngine:
     def _complete(self, stream: _StreamState) -> DetectionResult:
         del self._streams[stream.vehicle_id]
         self._free_slots.append(stream.slot)
+        self.streams_finalized += 1
         labels = stream.labels
         if self._use_delayed_labeling:
             labels = apply_delayed_labeling(labels, self._delay_window)

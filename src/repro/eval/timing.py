@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,6 +88,29 @@ class ThroughputReport:
         if other.points_per_second <= 0.0:
             return float("inf")
         return self.points_per_second / other.points_per_second
+
+    @classmethod
+    def combined(cls, name: str, reports: Sequence["ThroughputReport"],
+                 total_seconds: Optional[float] = None) -> "ThroughputReport":
+        """Aggregate per-worker reports into one fleet-level report.
+
+        Points and trajectories add up across workers; the elapsed time is
+        the *maximum* of the workers' (they run concurrently, so the slowest
+        one bounds the wall clock) unless the caller measured the true
+        end-to-end wall clock and passes it as ``total_seconds``. Used by the
+        sharded detection service to roll per-shard throughput into one
+        number.
+        """
+        if not reports:
+            raise EvaluationError("combining requires at least one report")
+        elapsed = (float(total_seconds) if total_seconds is not None
+                   else max(report.total_seconds for report in reports))
+        return cls(
+            name=name,
+            total_points=sum(report.total_points for report in reports),
+            total_seconds=elapsed,
+            num_trajectories=sum(report.num_trajectories for report in reports),
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {

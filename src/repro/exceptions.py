@@ -70,6 +70,14 @@ class NotFittedError(ModelError):
         )
 
 
+class CheckpointError(ReproError):
+    """Raised for unreadable, corrupt or incompatible model checkpoints."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid use of the sharded detection service."""
+
+
 class EvaluationError(ReproError):
     """Raised for malformed evaluation inputs (e.g. mismatched lengths)."""
 

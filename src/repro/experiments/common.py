@@ -42,7 +42,18 @@ from ..baselines.vsae import AutoencoderConfig, train_autoencoder
 
 @dataclass
 class ExperimentSettings:
-    """Knobs shared by all experiments."""
+    """Knobs shared by all experiments.
+
+    ``batch_size`` defaults to 4: the experiment harnesses train whole
+    grids of models (one per city, ablation row or parameter setting), so
+    they run through the batched training engine by default — the numerics
+    are the standard minibatch variant, several times faster at identical
+    architecture. Larger batches take fewer optimizer steps over the same
+    scaled-down schedules; 4 is the value at which every reproduced quality
+    floor (table 3, figure 6, the ablations and parameter studies) still
+    holds. Set ``batch_size=1`` to reproduce the paper-faithful sequential
+    loop instead.
+    """
 
     scale: float = 0.35
     seed: int = 7
@@ -58,6 +69,7 @@ class ExperimentSettings:
     pretrain_epochs: int = 6
     joint_trajectories: int = 300
     joint_epochs: int = 2
+    batch_size: int = 4
     validation_interval: int = 50
     autoencoder_epochs: int = 1
     autoencoder_max_trajectories: int = 300
@@ -83,6 +95,7 @@ class ExperimentSettings:
             pretrain_epochs=self.pretrain_epochs,
             joint_trajectories=self.joint_trajectories,
             joint_epochs=self.joint_epochs,
+            batch_size=self.batch_size,
             validation_interval=self.validation_interval,
             seed=self.seed + 3,
         )

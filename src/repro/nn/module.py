@@ -75,8 +75,15 @@ class Module:
         return {name: parameter.value.copy()
                 for name, parameter in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values previously produced by :meth:`state_dict`."""
+    def validate_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Check that ``state`` could be loaded into this module.
+
+        Raises :class:`~repro.exceptions.ModelError` on any missing /
+        unexpected parameter name or shape mismatch, without touching the
+        module's weights. Used by the serving layer to vet a hot-swap
+        snapshot *before* broadcasting it to worker shards, where a partial
+        failure would leave the fleet on mixed weights.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -86,13 +93,18 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, parameter in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name])
             if value.shape != parameter.value.shape:
                 raise ModelError(
                     f"shape mismatch for {name}: "
                     f"{value.shape} vs {parameter.value.shape}"
                 )
-            parameter.value = value.copy()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values previously produced by :meth:`state_dict`."""
+        self.validate_state_dict(state)
+        for name, parameter in self.named_parameters():
+            parameter.value = np.asarray(state[name], dtype=np.float64).copy()
             parameter.grad = np.zeros_like(parameter.value)
 
 

@@ -1,0 +1,464 @@
+"""Shard execution backends of the detection service.
+
+Both backends run one :class:`~repro.core.stream.StreamEngine` per shard and
+feed it through a bounded per-shard ingest queue — a full queue is the
+backpressure signal the service surfaces to callers. They differ in *where*
+the engine runs:
+
+* :class:`InProcessBackend` — every shard engine lives in the calling
+  process, events sit in plain deques, and nothing advances until the caller
+  pumps. Fully deterministic and debuggable; this is the backend the
+  differential tests drive, and the right choice when the caller is itself a
+  batch job.
+* :class:`ProcessBackend` — one OS process per shard, fed through bounded
+  ``multiprocessing`` queues from a pickled model blob
+  (:func:`~repro.serve.checkpoint.model_to_bytes`). Workers drain their
+  queue and tick continuously, so shard compute overlaps with the caller's
+  ingest loop and with every other shard — this is where multi-core
+  throughput comes from.
+
+Label equivalence holds for both: a stream's labels never depend on how
+ticks interleave with arrivals (each stream advances at most one point per
+tick, and per-stream state is self-contained), so sharding a fleet across
+engines — in whatever process — yields exactly the labels of one big engine.
+
+Worker protocol (process backend): commands are tuples ``(kind, ...)`` on
+the bounded command queue; ``ingest`` is fire-and-forget, while ``sync`` /
+``finalize`` / ``stats`` / ``swap`` / ``stop`` each produce exactly one
+reply ``(kind, payload)`` on the result queue. The single-caller service
+never pipelines two replied commands at once, so replies cannot interleave.
+Because the queue is FIFO, every point that is *eligible for labeling* by
+the time a ``swap`` command arrives is labeled by the old weights — the
+worker applies all earlier ingests and quiesces the engine before loading
+the snapshot — which is what makes hot-swaps deterministic and testable.
+(Points that only become labelable later — a stream's latest point awaiting
+its successor, or any point of a deferred stream, which is labeled wholly at
+finalize — get whatever weights are serving then, exactly like a single
+engine whose weights were swapped at the same quiescent boundary.)
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from collections import deque
+from typing import Deque, Hashable, List, NamedTuple, Optional, Sequence
+
+from ..core.detector import DetectionResult
+from ..core.stream import StreamEngine
+from ..exceptions import ServiceError
+from .checkpoint import WeightsSnapshot, model_from_bytes
+from .metrics import ShardStats
+
+#: Seconds a worker sleeps on its command queue when fully idle.
+_IDLE_WAIT_S = 0.05
+#: Seconds the service waits for a worker reply before declaring it dead.
+_REQUEST_TIMEOUT_S = 120.0
+
+
+class IngestEvent(NamedTuple):
+    """One map-matched point of one vehicle stream, as queued to a shard."""
+
+    vehicle_id: Hashable
+    segment: int
+    destination: Optional[int]
+    start_time_s: float
+    trajectory_id: Optional[int]
+
+
+def apply_event(engine: StreamEngine, event: IngestEvent) -> None:
+    """Feed one queued event into a shard's engine."""
+    engine.ingest(event.vehicle_id, event.segment,
+                  destination=event.destination,
+                  start_time_s=event.start_time_s,
+                  trajectory_id=event.trajectory_id)
+
+
+class ServiceBackend:
+    """Interface both shard backends implement (see module docstring)."""
+
+    name = "abstract"
+
+    @property
+    def num_shards(self) -> int:
+        raise NotImplementedError
+
+    def ingest(self, shard: int, event: IngestEvent) -> bool:
+        """Queue one event to a shard; ``False`` means the queue is full."""
+        raise NotImplementedError
+
+    def pump(self) -> int:
+        """Advance queued work opportunistically; returns points labeled.
+
+        The process backend's workers advance themselves, so its ``pump`` is
+        a no-op returning 0.
+        """
+        raise NotImplementedError
+
+    def drain(self) -> None:
+        """Block until every queued event is applied and no point is eligible.
+
+        Deferred streams (undeclared destinations) keep their buffered points
+        — those are only labelable at finalize — so "drained" means *no shard
+        can make progress*, not "no state is pending".
+        """
+        raise NotImplementedError
+
+    def finalize(self, shard: int,
+                 vehicle_ids: Sequence[Hashable]) -> List[DetectionResult]:
+        raise NotImplementedError
+
+    def swap(self, snapshot: WeightsSnapshot) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> List[ShardStats]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------- in-process
+class _InProcessShard:
+    def __init__(self, shard_id: int, engine: StreamEngine, queue_depth: int):
+        self.shard_id = shard_id
+        self.engine = engine
+        self.queue_depth = queue_depth
+        self.queue: Deque[IngestEvent] = deque()
+        self.busy_seconds = 0.0
+        self.swaps = 0
+
+    def dispatch(self) -> None:
+        """Apply every queued event to the engine (cheap: just buffering)."""
+        started = time.perf_counter()
+        while self.queue:
+            apply_event(self.engine, self.queue.popleft())
+        self.busy_seconds += time.perf_counter() - started
+
+    def tick(self) -> int:
+        started = time.perf_counter()
+        advanced = self.engine.tick()
+        self.busy_seconds += time.perf_counter() - started
+        return advanced
+
+
+class InProcessBackend(ServiceBackend):
+    """All shards in the calling process; deterministic, pump-driven."""
+
+    name = "inprocess"
+
+    def __init__(self, model, num_shards: int, queue_depth: int,
+                 engine_overrides: Optional[dict] = None):
+        overrides = dict(engine_overrides or {})
+        self._shards = [
+            _InProcessShard(shard_id, model.stream_engine(**overrides),
+                            queue_depth)
+            for shard_id in range(num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def ingest(self, shard: int, event: IngestEvent) -> bool:
+        state = self._shards[shard]
+        if len(state.queue) >= state.queue_depth:
+            return False
+        state.queue.append(event)
+        return True
+
+    def pump(self) -> int:
+        advanced = 0
+        for state in self._shards:
+            state.dispatch()
+            advanced += state.tick()
+        return advanced
+
+    def drain(self) -> None:
+        while self.pump() > 0:
+            pass
+
+    def finalize(self, shard: int,
+                 vehicle_ids: Sequence[Hashable]) -> List[DetectionResult]:
+        state = self._shards[shard]
+        state.dispatch()
+        started = time.perf_counter()
+        try:
+            return state.engine.finalize_many(vehicle_ids)
+        finally:
+            state.busy_seconds += time.perf_counter() - started
+
+    def swap(self, snapshot: WeightsSnapshot) -> None:
+        # Quiesce first so every point already accepted is labeled by the old
+        # weights — the same boundary the process backend's FIFO guarantees.
+        self.drain()
+        for state in self._shards:
+            state.engine.load_weights(snapshot["rsrnet"], snapshot["asdnet"])
+            state.swaps += 1
+
+    def stats(self) -> List[ShardStats]:
+        snapshots = []
+        for state in self._shards:
+            engine = state.engine
+            snapshots.append(ShardStats(
+                shard_id=state.shard_id,
+                backend=self.name,
+                points_processed=engine.points_processed,
+                ticks=engine.ticks,
+                busy_seconds=state.busy_seconds,
+                queue_depth=len(state.queue),
+                pending_points=engine.total_pending_points(),
+                streams_open=len(engine.active_vehicles),
+                streams_finalized=engine.streams_finalized,
+                cache_hits=engine.cache.hits,
+                cache_misses=engine.cache.misses,
+                swaps=state.swaps,
+            ))
+        return snapshots
+
+    def close(self) -> None:
+        self._shards = []
+
+
+# ------------------------------------------------------------ multi-process
+def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
+                  commands, results) -> None:
+    """Worker main loop: rebuild the model from its pickled snapshot, then
+    serve commands forever (see the module docstring for the protocol)."""
+    model = model_from_bytes(blob)
+    engine = model.stream_engine(**engine_overrides)
+    busy_seconds = 0.0
+    swaps = 0
+    pending_error: Optional[BaseException] = None
+
+    def timed_tick() -> int:
+        nonlocal busy_seconds
+        started = time.perf_counter()
+        advanced = engine.tick()
+        busy_seconds += time.perf_counter() - started
+        return advanced
+
+    def quiesce() -> None:
+        while timed_tick() > 0:
+            pass
+
+    def reply(kind: str, payload=None) -> None:
+        results.put((kind, payload))
+
+    def answer(command) -> bool:
+        """Handle one command; returns False when the worker must stop.
+
+        An error stashed by an earlier fire-and-forget ``ingest`` preempts
+        the reply of the next replied command, so failures surface at the
+        caller instead of silently desynchronizing the shard.
+        """
+        nonlocal busy_seconds, swaps, pending_error
+        kind = command[0]
+        if kind == "stop":
+            reply("stopped")
+            return False
+        if kind == "ingest":
+            started = time.perf_counter()
+            try:
+                apply_event(engine, command[1])
+            except BaseException as error:  # surfaced at the next request
+                pending_error = error
+            busy_seconds += time.perf_counter() - started
+            return True
+        if pending_error is not None:
+            error, pending_error = pending_error, None
+            reply("error", error)
+            return True
+        try:
+            if kind == "sync":
+                quiesce()
+                reply("synced")
+            elif kind == "finalize":
+                started = time.perf_counter()
+                value = engine.finalize_many(command[1])
+                busy_seconds += time.perf_counter() - started
+                reply("finalized", value)
+            elif kind == "swap":
+                quiesce()
+                snapshot = command[1]
+                engine.load_weights(snapshot["rsrnet"], snapshot["asdnet"])
+                swaps += 1
+                reply("swapped")
+            elif kind == "stats":
+                reply("stats", ShardStats(
+                    shard_id=shard_id,
+                    backend="process",
+                    points_processed=engine.points_processed,
+                    ticks=engine.ticks,
+                    busy_seconds=busy_seconds,
+                    queue_depth=_safe_qsize(commands),
+                    pending_points=engine.total_pending_points(),
+                    streams_open=len(engine.active_vehicles),
+                    streams_finalized=engine.streams_finalized,
+                    cache_hits=engine.cache.hits,
+                    cache_misses=engine.cache.misses,
+                    swaps=swaps,
+                ))
+            else:
+                reply("error", ServiceError(f"unknown command {kind!r}"))
+        except BaseException as error:
+            reply("error", error)
+        return True
+
+    running = True
+    while running:
+        handled = 0
+        while running:
+            try:
+                command = commands.get_nowait()
+            except queue_module.Empty:
+                break
+            handled += 1
+            running = answer(command)
+        if not running:
+            break
+        advanced = timed_tick()
+        if handled == 0 and advanced == 0:
+            # Fully idle: block (briefly) instead of spinning.
+            try:
+                command = commands.get(timeout=_IDLE_WAIT_S)
+            except queue_module.Empty:
+                continue
+            running = answer(command)
+
+
+def _safe_qsize(q) -> int:
+    try:
+        return q.qsize()
+    except NotImplementedError:  # pragma: no cover - macOS
+        return 0
+
+
+class _ProcessShard:
+    def __init__(self, shard_id: int, context, blob: bytes,
+                 engine_overrides: dict, queue_depth: int):
+        self.shard_id = shard_id
+        self.commands = context.Queue(maxsize=queue_depth)
+        self.results = context.Queue()
+        self.process = context.Process(
+            target=_shard_worker,
+            args=(shard_id, blob, engine_overrides, self.commands, self.results),
+            daemon=True,
+            name=f"repro-serve-shard-{shard_id}",
+        )
+        self.process.start()
+
+
+class ProcessBackend(ServiceBackend):
+    """One OS process per shard, spawned from a pickled model snapshot."""
+
+    name = "process"
+
+    def __init__(self, blob: bytes, num_shards: int, queue_depth: int,
+                 engine_overrides: Optional[dict] = None,
+                 start_method: Optional[str] = None,
+                 request_timeout_s: float = _REQUEST_TIMEOUT_S):
+        import multiprocessing
+
+        context = multiprocessing.get_context(start_method)
+        self._request_timeout_s = request_timeout_s
+        self._shards = [
+            _ProcessShard(shard_id, context, blob, dict(engine_overrides or {}),
+                          queue_depth)
+            for shard_id in range(num_shards)
+        ]
+        self._closed = False
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def _request(self, shard: "_ProcessShard", command: tuple, expect: str):
+        """Send one replied command and wait for its (only) reply."""
+        if self._closed:
+            raise ServiceError("the detection service is closed")
+        if not shard.process.is_alive():
+            raise ServiceError(
+                f"shard {shard.shard_id} worker died; the service must be "
+                "rebuilt (in-flight streams of that shard are lost)")
+        shard.commands.put(command)
+        try:
+            kind, payload = shard.results.get(timeout=self._request_timeout_s)
+        except queue_module.Empty:
+            raise ServiceError(
+                f"shard {shard.shard_id} did not answer a {command[0]!r} "
+                f"request within {self._request_timeout_s:.0f}s") from None
+        if kind == "error":
+            raise payload
+        if kind != expect:  # pragma: no cover - protocol bug guard
+            raise ServiceError(
+                f"shard {shard.shard_id} answered {kind!r} to {command[0]!r}")
+        return payload
+
+    def ingest(self, shard: int, event: IngestEvent) -> bool:
+        try:
+            self._shards[shard].commands.put_nowait(("ingest", event))
+        except queue_module.Full:
+            return False
+        return True
+
+    def pump(self) -> int:
+        return 0  # workers drain and tick themselves
+
+    def drain(self) -> None:
+        for shard in self._shards:
+            self._request(shard, ("sync",), "synced")
+
+    def finalize(self, shard: int,
+                 vehicle_ids: Sequence[Hashable]) -> List[DetectionResult]:
+        return self._request(self._shards[shard],
+                             ("finalize", list(vehicle_ids)), "finalized")
+
+    def swap(self, snapshot: WeightsSnapshot) -> None:
+        # Broadcast first so shards swap concurrently, then await each ack.
+        # Per-shard FIFO still guarantees every already-eligible point is
+        # labeled by the old weights (the worker quiesces before loading).
+        # Every shard's reply is consumed before any error is raised — an
+        # unread reply would answer that shard's *next* request and desync
+        # the whole protocol.
+        for shard in self._shards:
+            shard.commands.put(("swap", snapshot))
+        first_error: Optional[BaseException] = None
+        for shard in self._shards:
+            try:
+                kind, payload = shard.results.get(
+                    timeout=self._request_timeout_s)
+            except queue_module.Empty:
+                first_error = first_error or ServiceError(
+                    f"shard {shard.shard_id} did not acknowledge a weight "
+                    f"swap within {self._request_timeout_s:.0f}s")
+                continue
+            if kind == "error":
+                first_error = first_error or payload
+            elif kind != "swapped":  # pragma: no cover - protocol bug guard
+                first_error = first_error or ServiceError(
+                    f"shard {shard.shard_id} answered {kind!r} to a swap")
+        if first_error is not None:
+            raise first_error
+
+    def stats(self) -> List[ShardStats]:
+        return [self._request(shard, ("stats",), "stats")
+                for shard in self._shards]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            if shard.process.is_alive():
+                try:
+                    shard.commands.put(("stop",), timeout=1.0)
+                except queue_module.Full:  # pragma: no cover - wedged worker
+                    pass
+        for shard in self._shards:
+            shard.process.join(timeout=5.0)
+            if shard.process.is_alive():  # pragma: no cover - wedged worker
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+            shard.commands.close()
+            shard.results.close()

@@ -1,0 +1,144 @@
+"""Observability of the sharded detection service.
+
+Every shard reports one :class:`ShardStats` (points labeled, batched ticks,
+busy wall clock, queue depth, cache hit rate, streams, weight swaps);
+:class:`ServiceMetrics` rolls the fleet view together and converts it into
+the :class:`~repro.eval.timing.ThroughputReport` currency the rest of the
+evaluation stack already speaks, so service throughput composes directly
+with the existing detector/engine benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..eval.timing import ThroughputReport
+
+
+@dataclass
+class ShardStats:
+    """A point-in-time snapshot of one worker shard."""
+
+    shard_id: int
+    backend: str
+    points_processed: int = 0
+    ticks: int = 0
+    busy_seconds: float = 0.0
+    queue_depth: int = 0
+    pending_points: int = 0
+    streams_open: int = 0
+    streams_finalized: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    swaps: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_tick_batch(self) -> float:
+        """Average streams advanced per batched tick (the batching win)."""
+        return self.points_processed / self.ticks if self.ticks else 0.0
+
+    def throughput_report(self, name: Optional[str] = None) -> ThroughputReport:
+        """This shard's labeled points over its busy wall clock."""
+        return ThroughputReport(
+            name=name or f"shard[{self.shard_id}]",
+            total_points=self.points_processed,
+            total_seconds=self.busy_seconds,
+            num_trajectories=self.streams_finalized,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "backend": self.backend,
+            "points_processed": self.points_processed,
+            "ticks": self.ticks,
+            "mean_tick_batch": self.mean_tick_batch,
+            "busy_seconds": self.busy_seconds,
+            "queue_depth": self.queue_depth,
+            "pending_points": self.pending_points,
+            "streams_open": self.streams_open,
+            "streams_finalized": self.streams_finalized,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "swaps": self.swaps,
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """The fleet view: all shard snapshots plus service-level counters."""
+
+    shards: List[ShardStats] = field(default_factory=list)
+    accepted_ingests: int = 0
+    rejected_ingests: int = 0
+    model_version: int = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_points(self) -> int:
+        return sum(shard.points_processed for shard in self.shards)
+
+    @property
+    def streams_open(self) -> int:
+        return sum(shard.streams_open for shard in self.shards)
+
+    @property
+    def streams_finalized(self) -> int:
+        return sum(shard.streams_finalized for shard in self.shards)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = sum(shard.cache_hits for shard in self.shards)
+        misses = sum(shard.cache_misses for shard in self.shards)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        total = self.accepted_ingests + self.rejected_ingests
+        return self.rejected_ingests / total if total else 0.0
+
+    def throughput_report(self, name: str = "DetectionService",
+                          total_seconds: Optional[float] = None
+                          ) -> ThroughputReport:
+        """The fleet's aggregate throughput as one standard report.
+
+        Per-shard busy clocks overlap (shards run concurrently), so the
+        combined elapsed time is the slowest shard's — or, better, the true
+        end-to-end wall clock when the caller measured one and passes it as
+        ``total_seconds``.
+        """
+        reports = [shard.throughput_report() for shard in self.shards]
+        return ThroughputReport.combined(name, reports,
+                                         total_seconds=total_seconds)
+
+    def format(self) -> str:
+        """A compact multi-line dashboard of the fleet (for logs/benchmarks)."""
+        lines = [
+            f"DetectionService: {self.num_shards} shard(s), "
+            f"{self.total_points} points labeled, "
+            f"{self.streams_finalized} trips finalized "
+            f"({self.streams_open} in flight), "
+            f"cache hit rate {self.cache_hit_rate:.1%}, "
+            f"backpressure rejections {self.rejected_ingests} "
+            f"({self.rejection_rate:.1%}), "
+            f"model v{self.model_version}",
+        ]
+        for shard in self.shards:
+            lines.append(
+                f"  shard[{shard.shard_id}] ({shard.backend}): "
+                f"{shard.points_processed} pts in {shard.ticks} ticks "
+                f"(avg batch {shard.mean_tick_batch:.1f}), "
+                f"queue {shard.queue_depth}, pending {shard.pending_points}, "
+                f"cache {shard.cache_hit_rate:.1%}, swaps {shard.swaps}")
+        return "\n".join(lines)

@@ -1,0 +1,370 @@
+"""The sharded multi-worker detection service.
+
+:class:`DetectionService` is the layer above
+:class:`~repro.core.stream.StreamEngine`: where the engine multiplexes N
+streams through one process's batched ticks, the service shards a whole
+fleet across several engines — optionally one OS process each — behind a
+single ingest facade:
+
+* **Sharding.** Every vehicle id maps to a fixed shard
+  (:func:`~repro.serve.sharding.shard_of`), so a stream's points always
+  reach the same engine, in order. Labels are identical to one big engine
+  (and therefore to :class:`~repro.core.detector.OnlineDetector`) no matter
+  the shard count or backend — pinned by ``tests/test_serve.py``.
+* **Backpressure-aware ingest.** Each shard's queue is bounded;
+  :meth:`DetectionService.ingest` never blocks and never drops — a full
+  queue returns :attr:`IngestStatus.RETRY_LATER` and the caller retries
+  after :meth:`pump` (or a moment later, for the process backend whose
+  workers drain continuously). :meth:`ingest_blocking` wraps that loop.
+* **Snapshot isolation + hot-swap.** The service serves a *snapshot* of the
+  model taken at construction (a deep clone in process memory, or a pickled
+  blob shipped to worker processes). Callers keep fine-tuning their own
+  model freely; :meth:`swap_model` pushes the new weights to every shard at
+  a deterministic boundary — each point accepted before the swap is labeled
+  by the old weights, everything after by the new — without dropping a
+  single in-flight stream.
+* **Metrics.** :meth:`metrics` returns the fleet dashboard
+  (:class:`~repro.serve.metrics.ServiceMetrics`): per-shard throughput,
+  queue depth, cache hit rate, swap counts.
+
+:func:`serve_fleet` replays a trajectory workload through a service the way
+:func:`~repro.core.stream.replay_fleet` replays it through one engine —
+including the retry-on-backpressure discipline — and is what the throughput
+benchmark and the differential tests drive.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from ..core.detector import DetectionResult
+from ..core.rl4oasd import RL4OASDModel
+from ..exceptions import ServiceError
+from ..trajectory.models import MatchedTrajectory
+from .backends import (IngestEvent, InProcessBackend, ProcessBackend,
+                       ServiceBackend)
+from .checkpoint import (WeightsSnapshot, clone_model, model_to_bytes,
+                         weights_snapshot)
+from .metrics import ServiceMetrics
+from .sharding import shard_of
+
+
+class IngestStatus(enum.Enum):
+    """Outcome of one non-blocking ingest attempt."""
+
+    ACCEPTED = "accepted"
+    RETRY_LATER = "retry_later"
+
+    @property
+    def accepted(self) -> bool:
+        return self is IngestStatus.ACCEPTED
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+class DetectionService:
+    """Shard a fleet of vehicle streams across worker detection engines."""
+
+    def __init__(
+        self,
+        model: RL4OASDModel,
+        num_shards: int = 2,
+        backend: str = "inprocess",
+        queue_depth: int = 256,
+        start_method: Optional[str] = None,
+        **engine_overrides,
+    ):
+        if num_shards < 1:
+            raise ServiceError("num_shards must be >= 1")
+        if queue_depth < 1:
+            raise ServiceError("queue_depth must be >= 1")
+        # The caller's model is only read here (vocabulary checks at ingest,
+        # architecture/shape checks before a swap is broadcast); the shards
+        # serve an isolated snapshot taken right now.
+        self._vocabulary = model.pipeline.vocabulary
+        self._rsrnet_template = model.rsrnet
+        self._asdnet_template = model.asdnet
+        self._num_shards = num_shards
+        self._open: Dict[Hashable, int] = {}
+        self._accepted = 0
+        self._rejected = 0
+        self._model_version = 1
+        self._closed = False
+        if backend == "inprocess":
+            self._backend: ServiceBackend = InProcessBackend(
+                clone_model(model), num_shards, queue_depth, engine_overrides)
+        elif backend == "process":
+            self._backend = ProcessBackend(
+                model_to_bytes(model), num_shards, queue_depth,
+                engine_overrides, start_method=start_method)
+        else:
+            raise ServiceError(
+                f"unknown backend {backend!r}; use 'inprocess' or 'process'")
+
+    @classmethod
+    def from_checkpoint(cls, path, **kwargs) -> "DetectionService":
+        """Build a service straight from a saved model checkpoint."""
+        from .checkpoint import load_model
+
+        return cls(load_model(path), **kwargs)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def active_vehicles(self) -> List[Hashable]:
+        return list(self._open)
+
+    @property
+    def model_version(self) -> int:
+        """Bumped by every successful :meth:`swap_model`."""
+        return self._model_version
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shard_for(self, vehicle_id: Hashable) -> int:
+        return shard_of(vehicle_id, self._num_shards)
+
+    # -------------------------------------------------------------- ingest
+    def ingest(
+        self,
+        vehicle_id: Hashable,
+        segment: int,
+        destination: Optional[int] = None,
+        start_time_s: float = 0.0,
+        trajectory_id: Optional[int] = None,
+    ) -> IngestStatus:
+        """Queue one point to the vehicle's shard, without blocking.
+
+        Semantics mirror :meth:`StreamEngine.ingest ` (first ingest opens the
+        stream; ``destination`` etc. are only read then), with two serving
+        twists: unknown segments are rejected *here*, synchronously, before
+        anything is queued (``LabelingError``), and a full shard queue
+        returns :attr:`IngestStatus.RETRY_LATER` — the caller must retry the
+        *same* point before sending any later point of that vehicle, or the
+        stream would be observed out of order.
+        """
+        self._require_open_service()
+        self._vocabulary.token(segment)  # raises LabelingError, fail-fast
+        opening = vehicle_id not in self._open
+        if opening:
+            if destination is not None:
+                self._vocabulary.token(destination)
+            event = IngestEvent(vehicle_id, segment, destination,
+                                start_time_s, trajectory_id)
+        else:
+            event = IngestEvent(vehicle_id, segment, None, 0.0, None)
+        shard = self.shard_for(vehicle_id)
+        if not self._backend.ingest(shard, event):
+            self._rejected += 1
+            return IngestStatus.RETRY_LATER
+        self._accepted += 1
+        if opening:
+            self._open[vehicle_id] = shard
+        return IngestStatus.ACCEPTED
+
+    def ingest_blocking(self, vehicle_id: Hashable, segment: int,
+                        max_retries: int = 10000,
+                        retry_wait_s: float = 0.0005,
+                        **kwargs) -> int:
+        """Ingest one point, riding out backpressure; returns retries used.
+
+        Between attempts the service is pumped (which is what relieves an
+        in-process queue) and, when pumping made no progress — the process
+        backend drains on its own clock — the caller sleeps briefly.
+        """
+        retries = 0
+        while not self.ingest(vehicle_id, segment, **kwargs).accepted:
+            retries += 1
+            if retries > max_retries:
+                raise ServiceError(
+                    f"shard queue for vehicle {vehicle_id!r} stayed full "
+                    f"after {max_retries} retries")
+            if self.pump() == 0:
+                time.sleep(retry_wait_s)
+        return retries
+
+    # ------------------------------------------------------------- progress
+    def pump(self) -> int:
+        """Advance queued work opportunistically; returns points labeled.
+
+        In-process shards only make progress inside ``pump`` (or during a
+        finalize); process shards run continuously and report 0 here.
+        """
+        self._require_open_service()
+        return self._backend.pump()
+
+    def drain(self) -> None:
+        """Block until every accepted point that *can* be labeled has been.
+
+        Points of deferred streams (undeclared destination / no SD-pair
+        history) stay buffered — they are only labelable at finalize.
+        """
+        self._require_open_service()
+        self._backend.drain()
+
+    # ------------------------------------------------------------- finalize
+    def finalize(self, vehicle_id: Hashable) -> DetectionResult:
+        """Close one stream and return its detection result."""
+        return self.finalize_many([vehicle_id])[0]
+
+    def finalize_many(
+        self, vehicle_ids: Sequence[Hashable]
+    ) -> List[DetectionResult]:
+        """Close several streams; results come back in the input order.
+
+        Vehicles are grouped per shard so co-located streams drain through
+        shared batched ticks. A failure (say, a declared destination the trip
+        never reached) leaves that shard's streams open and untouched;
+        streams of shards already processed *are* finalized — retry the
+        failing vehicles individually after fixing the cause.
+        """
+        self._require_open_service()
+        if len(set(vehicle_ids)) != len(vehicle_ids):
+            raise ServiceError("finalize_many got duplicate vehicle ids")
+        unknown = [v for v in vehicle_ids if v not in self._open]
+        if unknown:
+            raise ServiceError(f"no active stream for vehicles {unknown!r}")
+        by_shard: Dict[int, List[Hashable]] = {}
+        for vehicle_id in vehicle_ids:
+            by_shard.setdefault(self._open[vehicle_id], []).append(vehicle_id)
+        results: Dict[Hashable, DetectionResult] = {}
+        for shard, vehicles in by_shard.items():
+            for vehicle_id, result in zip(
+                    vehicles, self._backend.finalize(shard, vehicles)):
+                results[vehicle_id] = result
+                del self._open[vehicle_id]
+        return [results[vehicle_id] for vehicle_id in vehicle_ids]
+
+    # ------------------------------------------------------------- hot swap
+    def swap_model(
+        self, model: Union[RL4OASDModel, WeightsSnapshot]
+    ) -> int:
+        """Push new weights to every shard; returns the new model version.
+
+        Accepts a fine-tuned :class:`RL4OASDModel` (e.g. fresh from
+        :meth:`OnlineLearner.observe_part`) or a prebuilt
+        :func:`~repro.serve.checkpoint.weights_snapshot`. The snapshot is
+        validated against the serving architecture *before* anything is
+        broadcast, so a mismatched model cannot leave the fleet on mixed
+        weights. In-flight streams survive: each keeps its recurrent state
+        and emitted labels, and every point already eligible for labeling
+        when this is called is labeled by the old weights. (A stream's
+        latest point — which waits for its successor — and the buffered
+        points of deferred streams, which are labeled wholly at finalize,
+        get the weights serving at that later moment, exactly as a single
+        engine swapped at the same quiescent boundary would label them.)
+
+        Note the swap replaces *network weights* only. The preprocessing
+        pipeline (normal-route statistics) each shard resolves against is
+        the one snapshotted at service construction — rebuild the service to
+        pick up new historical data.
+        """
+        self._require_open_service()
+        snapshot = (weights_snapshot(model)
+                    if isinstance(model, RL4OASDModel) else model)
+        if set(snapshot) != {"rsrnet", "asdnet"}:
+            raise ServiceError(
+                "a weights snapshot needs exactly the keys "
+                "'rsrnet' and 'asdnet'")
+        # Shape-check against the serving architecture before broadcasting:
+        # a worker-side rejection after a partial broadcast is exactly the
+        # mixed-weights hazard this call promises to avoid.
+        self._rsrnet_template.validate_state_dict(snapshot["rsrnet"])
+        self._asdnet_template.validate_state_dict(snapshot["asdnet"])
+        self._backend.swap(snapshot)
+        self._model_version += 1
+        return self._model_version
+
+    # -------------------------------------------------------------- metrics
+    def metrics(self) -> ServiceMetrics:
+        """A point-in-time fleet dashboard (see :class:`ServiceMetrics`)."""
+        self._require_open_service()
+        return ServiceMetrics(
+            shards=self._backend.stats(),
+            accepted_ingests=self._accepted,
+            rejected_ingests=self._rejected,
+            model_version=self._model_version,
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Shut the backend down; idempotent. In-flight streams are lost."""
+        if not self._closed:
+            self._closed = True
+            self._backend.close()
+
+    def __enter__(self) -> "DetectionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open_service(self) -> None:
+        if self._closed:
+            raise ServiceError("the detection service is closed")
+
+
+def serve_fleet(
+    service: DetectionService,
+    trajectories: Sequence[MatchedTrajectory],
+    concurrency: int = 64,
+    max_retries: int = 10000,
+) -> List[DetectionResult]:
+    """Replay trajectories through a service as a fleet of concurrent streams.
+
+    The service-side twin of :func:`~repro.core.stream.replay_fleet`: up to
+    ``concurrency`` trips in flight, one point per active vehicle per round,
+    one pump per round, finished trips finalized in shard-grouped batches.
+    Backpressure is ridden out with the retry discipline
+    (:meth:`DetectionService.ingest_blocking`), so a bounded queue slows the
+    replay down but never loses a stream. Results arrive in input order and
+    carry the caller's original trajectory objects.
+    """
+    if concurrency < 1:
+        raise ServiceError("concurrency must be positive")
+    results: List[Optional[DetectionResult]] = [None] * len(trajectories)
+    backlog = list(enumerate(trajectories))
+    backlog.reverse()  # pop() from the end preserves input order
+    active: Dict[int, Tuple[int, int]] = {}  # vehicle -> (result index, cursor)
+    next_vehicle = 0
+    while backlog or active:
+        while backlog and len(active) < concurrency:
+            index, trajectory = backlog.pop()
+            vehicle = next_vehicle
+            next_vehicle += 1
+            service.ingest_blocking(
+                vehicle, trajectory.segments[0],
+                max_retries=max_retries,
+                destination=trajectory.destination,
+                start_time_s=trajectory.start_time_s,
+                trajectory_id=trajectory.trajectory_id)
+            active[vehicle] = (index, 1)
+        finished: List[int] = []
+        for vehicle, (index, cursor) in active.items():
+            trajectory = trajectories[index]
+            if cursor < len(trajectory.segments):
+                service.ingest_blocking(vehicle, trajectory.segments[cursor],
+                                        max_retries=max_retries)
+                active[vehicle] = (index, cursor + 1)
+            else:
+                finished.append(vehicle)
+        service.pump()
+        if finished:
+            for vehicle, result in zip(finished,
+                                       service.finalize_many(finished)):
+                index, _ = active.pop(vehicle)
+                result.trajectory = trajectories[index]
+                results[index] = result
+    return results  # type: ignore[return-value]

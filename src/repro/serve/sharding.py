@@ -1,0 +1,44 @@
+"""Stable shard assignment for vehicle streams.
+
+The detection service routes every point of a vehicle's trip to the same
+shard, so the shard's :class:`~repro.core.stream.StreamEngine` sees the
+stream in order. The assignment must therefore be a pure function of the
+vehicle id — stable across calls, across processes and across service
+restarts. Python's builtin ``hash`` is *not* (string hashing is salted per
+process), so the key is serialized canonically and hashed with CRC-32.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+from ..exceptions import ServiceError
+
+
+def shard_key_bytes(vehicle_id: Hashable) -> bytes:
+    """A canonical byte serialization of one vehicle id.
+
+    Integers, strings and bytes — the ids real feeds use — get a stable,
+    type-tagged encoding (the tag keeps ``1`` and ``"1"`` distinct). Any
+    other hashable falls back to ``repr``, which is stable for the tuples
+    and frozen dataclasses used in tests.
+    """
+    if isinstance(vehicle_id, bool):  # before int: bool is an int subclass
+        return b"b:" + (b"1" if vehicle_id else b"0")
+    if isinstance(vehicle_id, int):
+        return b"i:" + str(vehicle_id).encode("ascii")
+    if isinstance(vehicle_id, str):
+        return b"s:" + vehicle_id.encode("utf-8")
+    if isinstance(vehicle_id, bytes):
+        return b"y:" + vehicle_id
+    return b"r:" + repr(vehicle_id).encode("utf-8")
+
+
+def shard_of(vehicle_id: Hashable, num_shards: int) -> int:
+    """The shard index a vehicle's stream belongs to, in ``[0, num_shards)``."""
+    if num_shards < 1:
+        raise ServiceError("num_shards must be >= 1")
+    if num_shards == 1:
+        return 0
+    return zlib.crc32(shard_key_bytes(vehicle_id)) % num_shards

@@ -340,3 +340,84 @@ def test_online_learner_batched_fine_tuning_workflow(dataset, dataset_split):
     assert learner.training_time_by_part()[1] == record.seconds
     labels = learner.detector().detect(test[0]).labels
     assert len(labels) == len(test[0])
+
+
+# --------------------------------------------- batched validation + bucketing
+def test_validation_pass_matches_detector_scoring(dataset, dataset_split):
+    """The StreamEngine-batched validation pass scores exactly like the old
+    one-trajectory-at-a-time OnlineDetector pass (labels are pinned equal)."""
+    from repro.eval.metrics import evaluate_labelings
+
+    train, development, _ = dataset_split
+    trainer = _make_trainer(dataset, train, development)
+    trainer.train()
+    config = trainer.training_config
+    reference = development[:10][: config.validation_sample]
+    detector = trainer.model().detector()
+    expected = evaluate_labelings(
+        [trajectory.labels for trajectory in reference],
+        [detector.detect(trajectory).labels for trajectory in reference]).f1
+    assert trainer._validation_f1() == pytest.approx(expected)
+
+
+def test_training_chunks_bucket_by_length(dataset, dataset_split):
+    """Bucketed assembly sorts batches by length (stably) and cuts padding;
+    batch size 1 and the opt-out keep the sample order untouched."""
+    train, development, _ = dataset_split
+    sample = list(train[:17])
+
+    bucketing = _make_trainer(dataset, train, development, batch_size=4)
+    chunks = list(bucketing._training_chunks(sample, 4))
+    flattened = [t for chunk in chunks for t in chunk]
+    assert sorted(map(len, flattened)) == list(map(len, flattened))
+    assert {t.trajectory_id for t in flattened} == {t.trajectory_id
+                                                    for t in sample}
+    # Stability: equal lengths keep their relative sample order.
+    by_length = {}
+    for trajectory in flattened:
+        by_length.setdefault(len(trajectory), []).append(trajectory)
+    positions = {id(t): i for i, t in enumerate(sample)}
+    for group in by_length.values():
+        indices = [positions[id(t)] for t in group]
+        assert indices == sorted(indices)
+
+    unbucketed = _make_trainer(dataset, train, development, batch_size=4,
+                               bucket_by_length=False)
+    assert [t for chunk in unbucketed._training_chunks(sample, 4)
+            for t in chunk] == sample
+    at_one = _make_trainer(dataset, train, development, batched=True)
+    assert [t for chunk in at_one._training_chunks(sample, 1)
+            for t in chunk] == sample
+
+
+def test_bucketed_batches_reduce_padding_waste(dataset, dataset_split):
+    """The padded-cell count over an epoch shrinks under bucketing."""
+    train, development, _ = dataset_split
+    trainer = _make_trainer(dataset, train, development, batch_size=8)
+    sample = list(train[:64])
+
+    def padded_cells(chunks):
+        total = 0
+        for chunk in chunks:
+            lengths = [len(t) for t in chunk]
+            total += max(lengths) * len(lengths) - sum(lengths)
+        return total
+
+    plain = padded_cells(_chunks_list(sample, 8))
+    bucketed = padded_cells(trainer._training_chunks(sample, 8))
+    assert bucketed <= plain
+    assert bucketed < plain or plain == 0
+
+
+def _chunks_list(items, size):
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+def test_bucketed_training_runs_end_to_end(dataset, dataset_split):
+    train, development, test = dataset_split
+    trainer = _make_trainer(dataset, train, development, batch_size=8,
+                            pretrain_trajectories=24, joint_trajectories=16)
+    model = trainer.train()
+    trainer.fine_tune(train[150:166], epochs=1)
+    result = model.detector().detect(test[0])
+    assert len(result.labels) == len(test[0])

@@ -352,3 +352,45 @@ def test_interleave_streams_random_preserves_stream_order(dataset_split):
         total += 1
     assert total == sum(len(t) for t in fleet)
     assert per_stream == {index: len(t) for index, t in enumerate(fleet)}
+
+
+# ------------------------------------------------------------- weight swaps
+def test_load_weights_swaps_under_active_streams(trained_model, dataset_split):
+    """Reloading the engine's own weights mid-stream changes nothing; a
+    mismatched snapshot is rejected atomically, leaving the engine intact."""
+    _, _, test = dataset_split
+    detector = trained_model.detector()
+    trajectory = max(test, key=len)
+    engine = trained_model.stream_engine()
+    snapshot = {
+        "rsrnet": trained_model.rsrnet.state_dict(),
+        "asdnet": trained_model.asdnet.state_dict(),
+    }
+    midpoint = len(trajectory) // 2
+    for position, segment in enumerate(trajectory.segments):
+        if position == 0:
+            engine.ingest("cab", segment,
+                          destination=trajectory.destination,
+                          start_time_s=trajectory.start_time_s)
+        else:
+            engine.ingest("cab", segment)
+        engine.tick()
+        if position == midpoint:
+            with pytest.raises(ModelError):
+                engine.load_weights({"bogus": np.zeros(2)},
+                                    snapshot["asdnet"])
+            # A same-weights swap is a no-op apart from the cache flush.
+            engine.load_weights(snapshot["rsrnet"], snapshot["asdnet"])
+            assert len(engine.cache) == 0
+    assert_results_match(detector.detect(trajectory), engine.finalize("cab"))
+
+
+def test_engine_lifetime_counters(trained_model, dataset_split):
+    _, _, test = dataset_split
+    engine = trained_model.stream_engine()
+    fleet = test[:6]
+    replay_fleet(engine, fleet, concurrency=3)
+    assert engine.points_processed == sum(len(t) for t in fleet)
+    assert engine.streams_finalized == len(fleet)
+    assert 0 < engine.ticks <= engine.points_processed
+    assert engine.total_pending_points() == 0

@@ -38,6 +38,14 @@ PUBLIC_SURFACE = {
     "repro.core.stream": ["StreamEngine", "SegmentFeatureCache"],
     "repro.core.online": ["OnlineLearner", "FineTuneRecord"],
     "repro.core.detector": ["OnlineDetector", "rnel_from_degrees_batch"],
+    "repro.serve": [
+        "DetectionService", "IngestStatus", "serve_fleet", "shard_of",
+        "ServiceMetrics", "ShardStats", "save_model", "load_model",
+        "clone_model", "weights_snapshot", "model_to_bytes",
+        "model_from_bytes",
+    ],
+    "repro.serve.checkpoint": ["CHECKPOINT_VERSION", "save_model", "load_model"],
+    "repro.serve.backends": ["InProcessBackend", "ProcessBackend", "IngestEvent"],
     "repro.eval": [
         "evaluate_labelings", "evaluate_detector", "measure_detector",
         "measure_throughput", "measure_training_throughput",
