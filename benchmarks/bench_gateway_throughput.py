@@ -1,0 +1,303 @@
+"""End-to-end raw-GPS throughput: gateway + service vs the offline pipeline.
+
+Replays the same raw-GPS fleet workload several ways — the offline pipeline
+(whole-trajectory ``HMMMapMatcher.match`` then a 1-shard service), then the
+online ``GpsGateway`` end-to-end at 1/2/4 process-backend shards with
+batched ingest, and finally the max-shard gateway with per-point service
+puts — verifies the gateway's labels are identical to the offline pipeline,
+reports raw-GPS points/sec for every path, and checks the per-point commit
+latency stays inside the configured lattice window.
+
+Two ratios matter:
+
+* **shard scaling** — gateway points/sec at the max shard count over 1
+  shard (the matcher runs in the caller, so this measures how well the
+  service side keeps up while matching happens inline);
+* **batched-ingest gain** — batched puts over per-point puts at the max
+  shard count (the satellite: one IPC command per batch instead of one per
+  point).
+
+Like the service benchmark, the assertions only arm on hosts with enough
+cores (floors tunable for noisy runners):
+
+* ``REPRO_BENCH_MIN_GATEWAY_SCALING`` — required max-shard/1-shard ratio
+  (default 1.05);
+* ``REPRO_BENCH_MIN_BATCH_INGEST_GAIN`` — required batched/per-point ratio
+  (default 1.05).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_gateway_throughput.py
+    PYTHONPATH=src python benchmarks/bench_gateway_throughput.py --smoke
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_gateway_throughput.py -s
+"""
+
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+import pytest
+
+from repro.config import GatewayConfig
+from repro.datagen import sample_gps_trace
+from repro.eval import measure_throughput
+from repro.experiments.common import prepare_city, train_rl4oasd
+from repro.ingest import GpsGateway, serve_raw_fleet
+from repro.mapmatching import HMMMapMatcher
+
+from conftest import bench_settings, record_result
+
+CONCURRENCY = 64
+WORKLOAD_TRIPS = 96
+SHARD_COUNTS = (1, 2, 4)
+GPS_NOISE_M = 2.0
+#: Cores needed before the parallel-scaling assertions arm.
+MIN_CORES_FOR_SCALING = 4
+MIN_GATEWAY_SCALING = float(
+    os.environ.get("REPRO_BENCH_MIN_GATEWAY_SCALING", "1.05"))
+MIN_BATCH_INGEST_GAIN = float(
+    os.environ.get("REPRO_BENCH_MIN_BATCH_INGEST_GAIN", "1.05"))
+
+
+@pytest.fixture(scope="module")
+def gateway_throughput():
+    result = run_bench()
+    record_result("gateway_throughput", result["text"])
+    return result
+
+
+def _raw_workload(split, trips):
+    """Clean raw GPS traces of the split's test routes (mild noise)."""
+    rng = np.random.default_rng(42)
+    network = split.dataset.network
+    raws = []
+    for index in range(trips):
+        truth = split.test[index % len(split.test)]
+        raws.append(sample_gps_trace(
+            network, truth.segments, truth.start_time_s, rng,
+            gps_noise_m=GPS_NOISE_M, trajectory_id=index))
+    return raws
+
+
+def _offline_pipeline(model, matcher, raws, total_points):
+    """Baseline: match whole trajectories offline, then serve the batch."""
+    def run():
+        matches = matcher.match_many(raws)
+        assert all(match.succeeded for match in matches)
+        labels = []
+        with model.detection_service(num_shards=1,
+                                     backend="inprocess") as service:
+            for index, match in enumerate(matches):
+                matched = match.matched
+                for position, segment in enumerate(matched.segments):
+                    if position == 0:
+                        service.ingest_blocking(
+                            index, segment,
+                            start_time_s=matched.start_time_s)
+                    else:
+                        service.ingest_blocking(index, segment)
+                labels.append(service.finalize(index).labels)
+        return labels
+
+    report, labels = measure_throughput(
+        run, total_points, name="offline match -> 1-shard service",
+        num_trajectories=len(raws))
+    return report, labels
+
+
+def _measure_gateway(model, matcher_network, raws, total_points, *,
+                     num_shards, backend, ingest_batch, name=None):
+    """One gateway+service configuration over the raw workload."""
+    config = GatewayConfig(ingest_batch=ingest_batch)
+    matcher = HMMMapMatcher(matcher_network)  # fresh distance cache per run
+    with model.detection_service(num_shards=num_shards, backend=backend,
+                                 queue_depth=1024) as service:
+        gateway = GpsGateway(service, matcher, config)
+        report, outputs = measure_throughput(
+            lambda: serve_raw_fleet(gateway, raws, concurrency=CONCURRENCY),
+            total_points,
+            name=name or (f"GpsGateway ({backend}, {num_shards} shard(s), "
+                          f"batch {ingest_batch})"),
+            num_trajectories=len(raws))
+        stats = gateway.stats()
+        latency = gateway.commit_latency()
+    labels = [[session.labels for session in sessions]
+              for sessions in outputs]
+    return report, labels, stats, latency, config
+
+
+def run_bench(smoke: bool = False):
+    if smoke:
+        settings = bench_settings(scale=0.15, joint_trajectories=30,
+                                  joint_epochs=1, pretrain_epochs=2)
+        shard_counts, trips, backend = (1,), 24, "inprocess"
+    else:
+        settings = bench_settings(joint_trajectories=100)
+        shard_counts, trips, backend = SHARD_COUNTS, WORKLOAD_TRIPS, "process"
+    split = prepare_city("chengdu", settings)
+    model, _ = train_rl4oasd(split, settings)
+    raws = _raw_workload(split, trips)
+    total_points = sum(len(raw.points) for raw in raws)
+
+    offline_matcher = HMMMapMatcher(split.dataset.network)
+    baseline, reference_labels = _offline_pipeline(
+        model, offline_matcher, raws, total_points)
+
+    rows = [baseline]
+    mismatches = 0
+    by_shards = {}
+    last_stats = last_latency = None
+    config = GatewayConfig()
+    for num_shards in shard_counts:
+        report, labels, stats, latency, config = _measure_gateway(
+            model, split.dataset.network, raws, total_points,
+            num_shards=num_shards, backend=backend,
+            ingest_batch=GatewayConfig().ingest_batch)
+        by_shards[num_shards] = report
+        rows.append(report)
+        mismatches += sum(
+            1 for expected, sessions in zip(reference_labels, labels)
+            if sessions != [expected])
+        last_stats, last_latency = stats, latency
+
+    max_shards = max(by_shards)
+    per_point, per_point_labels, _, _, _ = _measure_gateway(
+        model, split.dataset.network, raws, total_points,
+        num_shards=max_shards, backend=backend, ingest_batch=1)
+    rows.append(per_point)
+    mismatches += sum(
+        1 for expected, sessions in zip(reference_labels, per_point_labels)
+        if sessions != [expected])
+
+    scaling = (by_shards[max_shards].points_per_second
+               / by_shards[min(by_shards)].points_per_second)
+    batch_gain = (by_shards[max_shards].points_per_second
+                  / per_point.points_per_second)
+    cores = os.cpu_count() or 1
+    latency_bounded = last_latency.maximum <= config.max_pending_points
+    text_lines = [
+        "Raw-GPS gateway end-to-end throughput"
+        + (" (smoke)" if smoke else ""),
+        f"  workload: {len(raws)} raw trips, {total_points} GPS fixes "
+        f"(noise {GPS_NOISE_M} m), concurrency {CONCURRENCY}, "
+        f"{cores} core(s)",
+    ]
+    text_lines.extend(f"  {report.format()}" for report in rows)
+    text_lines.extend([
+        f"  scaling {min(by_shards)}->{max_shards} shards: {scaling:.2f}x   "
+        f"batched vs per-point ingest at {max_shards} shard(s): "
+        f"{batch_gain:.2f}x",
+        f"  label mismatches vs offline pipeline: {mismatches}",
+        f"  {last_latency.format()}",
+        f"  commit latency bounded by window "
+        f"({config.max_pending_points} points): {latency_bounded}",
+        f"  funnel: {last_stats.format()}",
+    ])
+    return {
+        "text": "\n".join(text_lines),
+        "mismatches": mismatches,
+        "scaling": scaling,
+        "batch_gain": batch_gain,
+        "latency_bounded": latency_bounded,
+        "latency_max": last_latency.maximum,
+        "dropped": last_stats.dropped_points,
+        "cores": cores,
+        "smoke": smoke,
+        "baseline": baseline,
+        "by_shards": by_shards,
+    }
+
+
+def test_gateway_matches_offline_pipeline(gateway_throughput):
+    assert gateway_throughput["mismatches"] == 0
+    assert gateway_throughput["dropped"] == 0
+
+
+def test_commit_latency_is_bounded(gateway_throughput):
+    assert gateway_throughput["latency_bounded"], gateway_throughput["text"]
+
+
+def test_gateway_scaling_and_batched_ingest(gateway_throughput):
+    """Max shards must out-run 1 shard, and batched ingest must beat
+    per-point puts, when the host actually has cores to scale onto."""
+    if gateway_throughput["smoke"]:
+        pytest.skip("smoke run measures one shard only")
+    if gateway_throughput["cores"] < MIN_CORES_FOR_SCALING:
+        pytest.skip(f"needs >= {MIN_CORES_FOR_SCALING} cores to measure "
+                    f"parallel scaling, host has "
+                    f"{gateway_throughput['cores']}")
+    assert gateway_throughput["scaling"] >= MIN_GATEWAY_SCALING, \
+        gateway_throughput["text"]
+    assert gateway_throughput["batch_gain"] >= MIN_BATCH_INGEST_GAIN, \
+        gateway_throughput["text"]
+
+
+def test_bench_gateway_round(benchmark):
+    """Time one fleet round (one fix per vehicle) through a 1-shard gateway."""
+    settings = bench_settings(scale=0.15, joint_trajectories=30,
+                              joint_epochs=1, pretrain_epochs=2)
+    split = prepare_city("chengdu", settings)
+    model, _ = train_rl4oasd(split, settings)
+    raws = _raw_workload(split, 16)
+    service = model.detection_service(num_shards=1, backend="inprocess",
+                                      queue_depth=4096)
+    gateway = GpsGateway(service, HMMMapMatcher(split.dataset.network))
+    for vehicle, raw in enumerate(raws):
+        gateway.push_point(vehicle, raw.points[0],
+                           start_time_s=raw.start_time_s)
+    cursor = [1]
+
+    def gateway_round():
+        position = cursor[0]
+        cursor[0] += 1
+        for vehicle, raw in enumerate(raws):
+            point = raw.points[position % (len(raw.points) - 1)]
+            # Keep timestamps monotone across wrapped rounds.
+            shifted = type(point)(point.x, point.y,
+                                  position * 5.0 + point.t * 1e-3)
+            gateway.push_point(vehicle, shifted)
+        gateway.pump()
+
+    benchmark(gateway_round)
+    service.close()
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv
+    result = run_bench(smoke=smoke)
+    print(result["text"])
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "gateway_throughput.txt").write_text(
+        result["text"] + "\n", encoding="utf-8")
+    if result["mismatches"]:
+        raise SystemExit("label mismatch between gateway and offline pipeline")
+    if result["dropped"]:
+        raise SystemExit("clean workload must not drop points")
+    if not result["latency_bounded"]:
+        raise SystemExit(
+            f"commit latency {result['latency_max']} exceeded the window")
+    if smoke:
+        return
+    if result["cores"] >= MIN_CORES_FOR_SCALING:
+        if result["scaling"] < MIN_GATEWAY_SCALING:
+            raise SystemExit(
+                f"scaling {result['scaling']:.2f}x below the "
+                f"{MIN_GATEWAY_SCALING:.2f}x floor")
+        if result["batch_gain"] < MIN_BATCH_INGEST_GAIN:
+            raise SystemExit(
+                f"batched-ingest gain {result['batch_gain']:.2f}x below the "
+                f"{MIN_BATCH_INGEST_GAIN:.2f}x floor")
+    else:
+        print(f"[scaling assertions skipped: "
+              f"{result['cores']} < {MIN_CORES_FOR_SCALING} cores]")
+
+
+if __name__ == "__main__":
+    main()

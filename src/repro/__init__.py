@@ -13,6 +13,8 @@ The package is organised bottom-up:
 * :mod:`repro.core` — RSRNet, ASDNet, the RL4OASD trainer and the online detector
 * :mod:`repro.serve` — the serving layer: sharded multi-worker detection
   service, checkpoints, model hot-swap
+* :mod:`repro.ingest` — the raw-GPS streaming gateway: online incremental
+  map matching feeding the detection service
 * :mod:`repro.baselines` — IBOAT, DBTOD, CTSS, SAE/VSAE/GM-VSAE/SD-VSAE, …
 * :mod:`repro.eval` — F1/TF1 metrics, length grouping, timing harnesses
 * :mod:`repro.experiments` — one harness per table/figure of the paper
@@ -31,6 +33,7 @@ from .config import (
     ASDNetConfig,
     DataGenConfig,
     EmbeddingConfig,
+    GatewayConfig,
     LabelingConfig,
     MapMatchingConfig,
     RL4OASDConfig,
@@ -57,5 +60,6 @@ __all__ = [
     "ASDNetConfig",
     "TrainingConfig",
     "ServeConfig",
+    "GatewayConfig",
     "small_config",
 ]

@@ -49,19 +49,30 @@ class RoadNetworkConfig:
 
 @dataclass(frozen=True)
 class MapMatchingConfig:
-    """Parameters of the HMM map matcher."""
+    """Parameters of the HMM map matcher.
+
+    ``distance_cache_size`` bounds the LRU cache of segment-pair network
+    distances shared by every match (and, through
+    :class:`~repro.mapmatching.online.OnlineMapMatcher`, by every vehicle of
+    a streaming fleet); consecutive GPS points of many trajectories repeat
+    the same segment pairs, so the cache is hot but must not grow without
+    bound on a long-running gateway.
+    """
 
     gps_sigma_m: float = 12.0
     transition_beta: float = 2.0
     candidate_radius_m: float = 60.0
     max_candidates: int = 8
     routing_max_hops: int = 60
+    distance_cache_size: int = 65536
 
     def validate(self) -> "MapMatchingConfig":
         _require(self.gps_sigma_m > 0, "gps_sigma_m must be positive")
         _require(self.transition_beta > 0, "transition_beta must be positive")
         _require(self.candidate_radius_m > 0, "candidate_radius_m must be positive")
         _require(self.max_candidates >= 1, "max_candidates must be >= 1")
+        _require(self.distance_cache_size >= 1,
+                 "distance_cache_size must be >= 1")
         return self
 
 
@@ -255,6 +266,41 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class GatewayConfig:
+    """Parameters of the raw-GPS ingest gateway (:mod:`repro.ingest`).
+
+    ``reorder_window`` is how many GPS fixes per vehicle the gateway buffers
+    to repair out-of-order arrival (a fix arriving more than ``reorder_window``
+    points late is dropped and counted). ``session_gap_s`` splits a vehicle's
+    stream into separate trip sessions when consecutive fixes are further
+    apart in time (each session becomes its own SD-pair stream in the
+    detection service). ``max_pending_points`` bounds the online matcher's
+    uncommitted lattice — the per-point commit-latency bound: when
+    backpointer convergence has not committed a point after that many
+    successors, emission is forced. ``ingest_batch`` groups matched segments
+    into per-shard batched service puts (1 keeps the per-point path);
+    ``max_retries`` / ``retry_wait_s`` configure the backpressure retry loop.
+    """
+
+    reorder_window: int = 8
+    session_gap_s: float = 300.0
+    max_pending_points: int = 64
+    ingest_batch: int = 32
+    max_retries: int = 10000
+    retry_wait_s: float = 0.0005
+
+    def validate(self) -> "GatewayConfig":
+        _require(self.reorder_window >= 0, "reorder_window must be >= 0")
+        _require(self.session_gap_s > 0, "session_gap_s must be positive")
+        _require(self.max_pending_points >= 2,
+                 "max_pending_points must be >= 2")
+        _require(self.ingest_batch >= 1, "ingest_batch must be >= 1")
+        _require(self.max_retries >= 1, "max_retries must be >= 1")
+        _require(self.retry_wait_s >= 0, "retry_wait_s must be >= 0")
+        return self
+
+
+@dataclass(frozen=True)
 class RL4OASDConfig:
     """Top-level configuration bundling every component."""
 
@@ -267,6 +313,7 @@ class RL4OASDConfig:
     asdnet: ASDNetConfig = field(default_factory=ASDNetConfig)
     training: TrainingConfig = field(default_factory=TrainingConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
 
     def validate(self) -> "RL4OASDConfig":
         self.road_network.validate()
@@ -278,6 +325,7 @@ class RL4OASDConfig:
         self.asdnet.validate()
         self.training.validate()
         self.serve.validate()
+        self.gateway.validate()
         return self
 
     def with_overrides(self, **sections) -> "RL4OASDConfig":

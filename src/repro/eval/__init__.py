@@ -2,9 +2,9 @@
 
 from .metrics import MetricsReport, evaluate_labelings, span_jaccard
 from .grouping import group_by_length, LENGTH_BOUNDARIES
-from .timing import (ThroughputReport, TimingReport, TrainingThroughputReport,
-                     measure_detector, measure_throughput,
-                     measure_training_throughput)
+from .timing import (LatencyReport, ThroughputReport, TimingReport,
+                     TrainingThroughputReport, measure_detector,
+                     measure_throughput, measure_training_throughput)
 from .runner import EvaluationRun, evaluate_detector
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "group_by_length",
     "LENGTH_BOUNDARIES",
     "TimingReport",
+    "LatencyReport",
     "measure_detector",
     "ThroughputReport",
     "measure_throughput",

@@ -6,7 +6,7 @@ per-trajectory training loop and the batched training engine."""
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -151,6 +151,56 @@ def measure_throughput(
                               total_seconds=elapsed,
                               num_trajectories=num_trajectories)
     return report, value
+
+
+@dataclass
+class LatencyReport:
+    """Distribution of per-point commit latency of a streaming component.
+
+    Used by the raw-GPS ingest gateway to report how long a GPS fix's match
+    stays provisional: each sample is the number of *follow-up points* that
+    had to arrive before the fix's road segment was committed (0 = decided
+    immediately). The same shape works for any bounded-staleness pipeline
+    stage; keep samples in arrival units that mean something to the reader.
+    """
+
+    name: str
+    samples: List[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def p50(self) -> float:
+        return float(np.percentile(self.samples, 50)) if self.samples else 0.0
+
+    @property
+    def p95(self) -> float:
+        return float(np.percentile(self.samples, 95)) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> int:
+        return int(max(self.samples)) if self.samples else 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+    def format(self) -> str:
+        return (f"{self.name}: commit lag over {self.count} points — "
+                f"mean {self.mean:.2f}, p50 {self.p50:.0f}, "
+                f"p95 {self.p95:.0f}, max {self.maximum}")
 
 
 @dataclass

@@ -49,6 +49,33 @@ class MapMatchingError(ReproError):
     """Raised when map matching fails to produce a path."""
 
 
+class UnmatchablePointError(MapMatchingError):
+    """Raised when a GPS fix has no candidate segment anywhere near it.
+
+    An online session raising this has *not* consumed the point; the caller
+    may drop the fix and keep streaming the rest of the trip.
+    """
+
+
+class MatchBreakError(MapMatchingError):
+    """Raised when an online matching session cannot be extended.
+
+    The usual cause: no candidate of the new fix is reachable from the
+    previous fix's candidates (the offline matcher would declare the whole
+    trajectory unmatchable at this point); then the breaking point has *not*
+    been consumed and the session remains usable. The defensive cause — a
+    committed route that cannot be connected, impossible with the
+    bounded-dijkstra transition model — discards the session instead.
+    Either way the already-emitted route prefix remains valid, so callers
+    (the ingest gateway) end the session at that prefix and restart matching
+    from the breaking fix.
+    """
+
+
+class GatewayError(ReproError):
+    """Raised for invalid use of the raw-GPS ingest gateway."""
+
+
 class DataGenerationError(ReproError):
     """Raised for inconsistent synthetic data generation requests."""
 

@@ -1,0 +1,422 @@
+"""The raw-GPS streaming gateway: noisy fixes in, detection results out.
+
+:class:`GpsGateway` is the layer *in front of* the sharded
+:class:`~repro.serve.service.DetectionService`. The service (and everything
+below it) speaks map-matched road segments; real deployments — the
+Chengdu/Xi'an feeds the paper evaluates on — speak raw GPS fixes arriving
+point by point, out of order, duplicated, and occasionally nowhere near a
+road. The gateway turns the one into the other, per vehicle, online::
+
+    raw GPS fixes ──▶ reorder buffer ──▶ session splitter ──▶ OnlineMapMatcher
+                       (bounded, per       (time gaps end      (incremental
+                        vehicle)            a trip)             Viterbi)
+                                                                   │ committed
+                                                                   ▼ segments
+                                     DetectionService ◀── batched ingest
+
+* **Reorder buffer.** Each vehicle's newest fixes sit in a small buffer
+  sorted by timestamp; a fix is released once ``reorder_window`` later fixes
+  have arrived, so bounded out-of-order delivery is repaired exactly. Fixes
+  older than the release frontier are dropped (counted ``late_dropped``);
+  fixes with an already-seen timestamp are dropped as duplicates.
+* **Trip sessions.** A gap of more than ``session_gap_s`` between released
+  fixes ends the vehicle's current trip session and starts a new one — each
+  session is its own (deferred) SD-pair stream in the detection service,
+  finalized independently. Explicit :meth:`end` closes a vehicle's last
+  session. Streams are deferred because a raw feed never declares the
+  rider's destination; the engine labels them wholly at finalize, exactly
+  like the reference detector on the completed trip.
+* **Online matching.** Each session runs one
+  :class:`~repro.mapmatching.online.OnlineMapMatcher` lattice; fixes with no
+  road candidate are dropped (``unmatched_dropped``), a lattice break ends
+  the session early (``sessions_broken``) and restarts matching from the
+  breaking fix, and committed segments flow straight into the service.
+* **Batched service ingest.** Committed segments are buffered and flushed as
+  per-shard batches through :meth:`DetectionService.ingest_many`
+  (``ingest_batch`` per flush; 1 selects the per-point path), amortizing the
+  per-point IPC that otherwise caps multi-shard scaling.
+
+:func:`serve_raw_fleet` replays whole raw-trajectory workloads through a
+gateway the way :func:`~repro.serve.service.serve_fleet` replays matched
+workloads through a service — it is what the differential tests and the
+gateway throughput benchmark drive.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..config import GatewayConfig
+from ..core.detector import DetectionResult
+from ..eval.timing import LatencyReport
+from ..exceptions import (GatewayError, MatchBreakError, UnmatchablePointError)
+from ..mapmatching.hmm import HMMMapMatcher
+from ..mapmatching.online import OnlineMapMatcher, OnlineMatchResult
+from ..serve.backends import IngestEvent
+from ..serve.metrics import GatewayStats, ServiceMetrics
+from ..serve.service import DetectionService
+from ..trajectory.models import GPSPoint, RawTrajectory
+
+
+class SessionResult(NamedTuple):
+    """One finished trip session of one vehicle.
+
+    ``result`` is the service's detection result for the session's matched
+    route; ``match`` summarizes the online matching (``None`` when the
+    session ended through a lattice break, whose pending lattice is
+    discarded rather than decoded).
+    """
+
+    vehicle_id: Hashable
+    session_key: Tuple[Hashable, int]
+    result: DetectionResult
+    match: Optional[OnlineMatchResult]
+
+
+@dataclass
+class _SessionState:
+    """The gateway's bookkeeping for one in-flight trip session."""
+
+    key: Tuple[Hashable, int]
+    start_time_s: float
+    last_point_t: float
+    opened: bool = False            # the service stream exists
+    segments_forwarded: int = 0
+    trajectory_id: Optional[int] = None
+
+
+@dataclass
+class _VehicleState:
+    """Everything the gateway tracks for one vehicle."""
+
+    buffer: List[GPSPoint] = field(default_factory=list)  # sorted by t
+    last_released_t: float = float("-inf")
+    time_origin: float = 0.0
+    session: Optional[_SessionState] = None
+    next_session: int = 0
+
+
+class GpsGateway:
+    """Online map-matching front door of a :class:`DetectionService`."""
+
+    def __init__(
+        self,
+        service: DetectionService,
+        matcher,
+        config: Optional[GatewayConfig] = None,
+    ):
+        """``matcher`` is an :class:`OnlineMapMatcher`, or an offline
+        :class:`HMMMapMatcher` to wrap (sharing its distance cache across
+        the whole fleet); the window then comes from
+        ``config.max_pending_points``."""
+        self._service = service
+        self._config = (config or GatewayConfig()).validate()
+        if isinstance(matcher, OnlineMapMatcher):
+            self._matcher = matcher
+        elif isinstance(matcher, HMMMapMatcher):
+            self._matcher = OnlineMapMatcher(
+                matcher, max_pending=self._config.max_pending_points)
+        else:
+            raise GatewayError(
+                "matcher must be an OnlineMapMatcher or an HMMMapMatcher, "
+                f"got {type(matcher).__name__}")
+        self._vehicles: Dict[Hashable, _VehicleState] = {}
+        # Buffered batched ingest events, grouped by shard: each shard's
+        # group is delivered atomically and dropped once delivered, so a
+        # flush interrupted by an exhausted retry budget can be retried
+        # without ever re-sending (duplicating) a delivered batch.
+        self._pending: Dict[int, List[IngestEvent]] = {}
+        self._pending_count = 0
+        self._next_trajectory_id = 0
+        self._stats = GatewayStats()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def service(self) -> DetectionService:
+        return self._service
+
+    @property
+    def matcher(self) -> OnlineMapMatcher:
+        return self._matcher
+
+    @property
+    def config(self) -> GatewayConfig:
+        return self._config
+
+    @property
+    def active_vehicles(self) -> List[Hashable]:
+        return list(self._vehicles)
+
+    # ------------------------------------------------------------------ push
+    def push(self, vehicle_id: Hashable, x: float, y: float, t: float,
+             start_time_s: Optional[float] = None) -> List[SessionResult]:
+        """Feed one raw GPS fix ``(x, y, t)`` of one vehicle.
+
+        ``t`` is the vehicle's own monotone clock (seconds); the optional
+        ``start_time_s`` — read only on the vehicle's very first fix — is
+        the absolute time of day at ``t = 0``, used for the time-slot
+        grouping of every session this vehicle produces. Returns the
+        sessions this fix *completed* (normally none; one when the fix's
+        timestamp revealed a trip gap).
+        """
+        return self.push_point(vehicle_id, GPSPoint(x, y, t),
+                               start_time_s=start_time_s)
+
+    def push_point(self, vehicle_id: Hashable, point: GPSPoint,
+                   start_time_s: Optional[float] = None
+                   ) -> List[SessionResult]:
+        """:meth:`push` for callers that already hold a :class:`GPSPoint`."""
+        self._stats.raw_points += 1
+        state = self._vehicles.get(vehicle_id)
+        if state is None:
+            state = _VehicleState(
+                time_origin=start_time_s if start_time_s is not None else 0.0)
+            self._vehicles[vehicle_id] = state
+        # Repair bounded out-of-order arrival; drop what cannot be repaired.
+        if point.t < state.last_released_t:
+            self._stats.late_dropped += 1
+            return []
+        position = bisect.bisect_left(state.buffer, point.t,
+                                      key=lambda buffered: buffered.t)
+        if (point.t == state.last_released_t
+                or (position < len(state.buffer)
+                    and state.buffer[position].t == point.t)):
+            self._stats.duplicates_dropped += 1
+            return []
+        state.buffer.insert(position, point)
+        results: List[SessionResult] = []
+        while len(state.buffer) > self._config.reorder_window:
+            released = state.buffer.pop(0)
+            state.last_released_t = released.t
+            results.extend(self._deliver(vehicle_id, state, released))
+        return results
+
+    # ------------------------------------------------------------- lifecycle
+    def end(self, vehicle_id: Hashable) -> List[SessionResult]:
+        """Close one vehicle: flush its reorder buffer, finish its sessions.
+
+        Returns every session completed by the flush (gap splits included)
+        plus the final one. The vehicle is forgotten afterwards; a later
+        :meth:`push` starts from scratch.
+        """
+        state = self._vehicles.pop(vehicle_id, None)
+        if state is None:
+            raise GatewayError(f"no active vehicle {vehicle_id!r}")
+        results: List[SessionResult] = []
+        for point in state.buffer:
+            state.last_released_t = point.t
+            results.extend(self._deliver(vehicle_id, state, point))
+        if state.session is not None:
+            result = self._close_session(state)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def end_all(self) -> List[SessionResult]:
+        """Close every active vehicle (input order); see :meth:`end`."""
+        results: List[SessionResult] = []
+        for vehicle_id in list(self._vehicles):
+            results.extend(self.end(vehicle_id))
+        return results
+
+    def pump(self) -> int:
+        """Advance the service opportunistically (see
+        :meth:`DetectionService.pump`)."""
+        return self._service.pump()
+
+    def flush(self) -> None:
+        """Push any buffered batched ingest events into the service now."""
+        if not self._pending:
+            return
+        for shard in list(self._pending):
+            events = self._pending.pop(shard)
+            self._pending_count -= len(events)
+            try:
+                self._service.ingest_many(
+                    events,
+                    max_retries=self._config.max_retries,
+                    retry_wait_s=self._config.retry_wait_s)
+            except BaseException:
+                # Nothing of this single-shard batch was queued: put it
+                # back so a retried flush re-sends exactly the undelivered
+                # events and nothing else.
+                self._pending[shard] = events + self._pending.get(shard, [])
+                self._pending_count += len(events)
+                raise
+        self._stats.batched_flushes += 1
+
+    # -------------------------------------------------------------- metrics
+    def stats(self) -> GatewayStats:
+        """A point-in-time snapshot of the gateway's input funnel."""
+        matcher = self._matcher
+        stats = GatewayStats(**{
+            name: getattr(self._stats, name)
+            for name in ("raw_points", "matched_points", "segments_emitted",
+                         "late_dropped", "duplicates_dropped",
+                         "unmatched_dropped", "sessions_opened",
+                         "sessions_closed", "sessions_dropped",
+                         "sessions_broken", "gap_splits", "batched_flushes")})
+        stats.commits = matcher.commits
+        stats.forced_commits = matcher.forced_commits
+        stats.max_commit_lag = matcher.max_commit_lag
+        stats.mean_commit_lag = matcher.mean_commit_lag
+        stats.reorder_buffered = sum(len(state.buffer)
+                                     for state in self._vehicles.values())
+        return stats
+
+    def metrics(self) -> ServiceMetrics:
+        """The service's fleet dashboard with this gateway's funnel attached."""
+        metrics = self._service.metrics()
+        metrics.gateway = self.stats()
+        return metrics
+
+    def commit_latency(self) -> LatencyReport:
+        """Distribution of per-fix commit lag (in follow-up points)."""
+        return LatencyReport(name="GpsGateway",
+                             samples=list(self._matcher.commit_lag_samples))
+
+    # ------------------------------------------------------------- internals
+    def _deliver(self, vehicle_id: Hashable, state: _VehicleState,
+                 point: GPSPoint) -> List[SessionResult]:
+        """One released (in-order) fix: split sessions, match, forward."""
+        results: List[SessionResult] = []
+        session = state.session
+        if (session is not None
+                and point.t - session.last_point_t > self._config.session_gap_s):
+            self._stats.gap_splits += 1
+            result = self._close_session(state)
+            if result is not None:
+                results.append(result)
+            session = None
+        if session is None:
+            session = _SessionState(
+                key=(vehicle_id, state.next_session),
+                start_time_s=state.time_origin + point.t,
+                last_point_t=point.t,
+            )
+            state.next_session += 1
+            state.session = session
+            self._stats.sessions_opened += 1
+        session.last_point_t = point.t
+        try:
+            emitted = self._matcher.push(session.key, point)
+        except UnmatchablePointError:
+            self._stats.unmatched_dropped += 1
+            return results
+        except MatchBreakError:
+            # The lattice cannot continue through this fix: end the session
+            # at its committed prefix and restart matching from the fix.
+            result = self._close_session(state, broken=True)
+            if result is not None:
+                results.append(result)
+            results.extend(self._deliver(vehicle_id, state, point))
+            return results
+        self._stats.matched_points += 1
+        for segment in emitted:
+            self._forward(session, segment)
+        return results
+
+    def _forward(self, session: _SessionState, segment: int) -> None:
+        """Send one committed segment of one session into the service."""
+        if not session.opened:
+            session.trajectory_id = self._next_trajectory_id
+            self._next_trajectory_id += 1
+            event = IngestEvent(session.key, segment, None,
+                                session.start_time_s, session.trajectory_id)
+        else:
+            event = IngestEvent(session.key, segment, None, 0.0, None)
+        if self._config.ingest_batch == 1:
+            self._service.ingest_blocking(
+                event.vehicle_id, event.segment,
+                max_retries=self._config.max_retries,
+                retry_wait_s=self._config.retry_wait_s,
+                destination=event.destination,
+                start_time_s=event.start_time_s,
+                trajectory_id=event.trajectory_id)
+        else:
+            shard = self._service.shard_for(event.vehicle_id)
+            self._pending.setdefault(shard, []).append(event)
+            self._pending_count += 1
+            if self._pending_count >= self._config.ingest_batch:
+                self.flush()
+        session.opened = True
+        session.segments_forwarded += 1
+        self._stats.segments_emitted += 1
+
+    def _close_session(self, state: _VehicleState,
+                       broken: bool = False) -> Optional[SessionResult]:
+        """Finish the vehicle's current session; ``None`` when it was empty."""
+        session = state.session
+        state.session = None
+        match: Optional[OnlineMatchResult] = None
+        if self._matcher.has_session(session.key):
+            if broken:
+                self._matcher.discard(session.key)
+            else:
+                match = self._matcher.finish(session.key)
+                for segment in match.route[session.segments_forwarded:]:
+                    self._forward(session, segment)
+                if match.broken:
+                    broken = True
+        if broken:
+            self._stats.sessions_broken += 1
+        if not session.opened:
+            # Not a single fix of this session could be matched.
+            self._stats.sessions_dropped += 1
+            return None
+        self.flush()
+        result = self._service.finalize(session.key)
+        self._stats.sessions_closed += 1
+        return SessionResult(vehicle_id=session.key[0],
+                             session_key=session.key,
+                             result=result, match=match)
+
+
+def serve_raw_fleet(
+    gateway: GpsGateway,
+    raw_trajectories: Sequence[RawTrajectory],
+    concurrency: int = 64,
+) -> List[List[DetectionResult]]:
+    """Replay raw GPS trajectories through a gateway as a concurrent fleet.
+
+    The raw-input twin of :func:`~repro.serve.service.serve_fleet`: up to
+    ``concurrency`` vehicles in flight, one fix per active vehicle per
+    round, one service pump per round, every finished vehicle closed through
+    :meth:`GpsGateway.end`. Returns, per input trajectory (in input order),
+    the detection results of its sessions — exactly one for a clean,
+    gap-free trace; several when time gaps split the trip; none when no fix
+    could be matched.
+    """
+    if concurrency < 1:
+        raise GatewayError("concurrency must be positive")
+    results: List[List[DetectionResult]] = [[] for _ in raw_trajectories]
+    backlog = list(enumerate(raw_trajectories))
+    backlog.reverse()  # pop() from the end preserves input order
+    active: Dict[int, Tuple[int, int]] = {}  # vehicle -> (index, cursor)
+    next_vehicle = 0
+    while backlog or active:
+        while backlog and len(active) < concurrency:
+            index, trajectory = backlog.pop()
+            vehicle = next_vehicle
+            next_vehicle += 1
+            gateway.push_point(vehicle, trajectory.points[0],
+                               start_time_s=trajectory.start_time_s)
+            active[vehicle] = (index, 1)
+        finished: List[int] = []
+        for vehicle, (index, cursor) in active.items():
+            trajectory = raw_trajectories[index]
+            if cursor < len(trajectory.points):
+                for session in gateway.push_point(
+                        vehicle, trajectory.points[cursor]):
+                    results[index].append(session.result)
+                active[vehicle] = (index, cursor + 1)
+            else:
+                finished.append(vehicle)
+        gateway.pump()
+        for vehicle in finished:
+            index, _ = active.pop(vehicle)
+            for session in gateway.end(vehicle):
+                results[index].append(session.result)
+    return results

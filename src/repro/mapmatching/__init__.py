@@ -6,15 +6,25 @@ the same family of algorithm in Python: candidate segments come from a spatial
 index, emissions follow a Gaussian model of GPS error, transitions penalise
 the difference between great-circle and network distances, and Viterbi picks
 the most probable segment sequence.
+
+Two matchers share those models: :class:`HMMMapMatcher` decodes whole
+trajectories offline, and :class:`OnlineMapMatcher` decodes point-by-point
+GPS streams incrementally (sliding-window Viterbi with convergence-based
+commits), which is what the raw-GPS ingest gateway (:mod:`repro.ingest`)
+runs per vehicle.
 """
 
 from .emission import gaussian_emission_log_prob
 from .transition import transition_log_prob
-from .hmm import HMMMapMatcher, MatchResult
+from .hmm import HMMMapMatcher, MatchResult, SegmentPairDistanceCache
+from .online import OnlineMapMatcher, OnlineMatchResult
 
 __all__ = [
     "HMMMapMatcher",
     "MatchResult",
+    "OnlineMapMatcher",
+    "OnlineMatchResult",
+    "SegmentPairDistanceCache",
     "gaussian_emission_log_prob",
     "transition_log_prob",
 ]

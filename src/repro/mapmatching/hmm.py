@@ -4,17 +4,70 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import MapMatchingConfig
-from ..exceptions import DisconnectedRouteError, MapMatchingError
+from ..exceptions import (DisconnectedRouteError, MapMatchingError)
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.shortest_path import dijkstra_route
 from ..roadnet.spatial import SpatialIndex
 from ..trajectory.models import MatchedTrajectory, RawTrajectory
 from .emission import gaussian_emission_log_prob
 from .transition import transition_log_prob
+
+
+class SegmentPairDistanceCache:
+    """A bounded LRU cache of network distances between segment pairs.
+
+    Same discipline as the stream engine's segment-feature cache: recently
+    used pairs stay, the least recently used pair is evicted once
+    ``max_size`` is reached, and ``hits`` / ``misses`` are surfaced for
+    observability. One instance is shared by every match of a matcher — and,
+    through :class:`~repro.mapmatching.online.OnlineMapMatcher`, by every
+    vehicle session of a streaming fleet — because consecutive GPS fixes of
+    different trips keep asking for the same arterial segment pairs.
+    """
+
+    def __init__(self, max_size: int = 65536):
+        if max_size < 1:
+            raise MapMatchingError(
+                "the segment-pair distance cache needs max_size >= 1")
+        self._max_size = max_size
+        self._distances: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._distances)
+
+    @property
+    def max_size(self) -> int:
+        return self._max_size
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, key: Tuple[int, int]) -> Optional[float]:
+        """The cached distance for ``key``, or ``None`` (counts hit/miss)."""
+        distance = self._distances.get(key)
+        if distance is not None:
+            self._distances.move_to_end(key)
+            self.hits += 1
+            return distance
+        self.misses += 1
+        return None
+
+    def store(self, key: Tuple[int, int], distance: float) -> None:
+        self._distances[key] = distance
+        if len(self._distances) > self._max_size:
+            self._distances.popitem(last=False)
+
+    def clear(self) -> None:
+        self._distances.clear()
 
 
 @dataclass
@@ -48,7 +101,8 @@ class HMMMapMatcher:
         self._network = network
         self._config = (config or MapMatchingConfig()).validate()
         self._index = SpatialIndex(network, cell_size_m=self._config.candidate_radius_m)
-        self._distance_cache: Dict[Tuple[int, int], float] = {}
+        self._distance_cache = SegmentPairDistanceCache(
+            self._config.distance_cache_size)
 
     @property
     def network(self) -> RoadNetwork:
@@ -57,6 +111,11 @@ class HMMMapMatcher:
     @property
     def config(self) -> MapMatchingConfig:
         return self._config
+
+    @property
+    def distance_cache(self) -> SegmentPairDistanceCache:
+        """The shared segment-pair network-distance cache (LRU-bounded)."""
+        return self._distance_cache
 
     # ----------------------------------------------------------- public API
     def match(self, trajectory: RawTrajectory) -> MatchResult:
@@ -84,34 +143,44 @@ class HMMMapMatcher:
         """Match a batch of raw trajectories."""
         return [self.match(trajectory) for trajectory in trajectories]
 
-    # ------------------------------------------------------------ internals
-    def _candidates(self, trajectory: RawTrajectory) -> List[List[Tuple[int, float]]]:
-        """Candidate (segment, distance) lists for every GPS point."""
-        config = self._config
-        result = []
-        for point in trajectory.points:
-            near = self._index.segments_near(point.x, point.y,
-                                             config.candidate_radius_m)
-            if not near:
-                try:
-                    near = [self._index.nearest_segment(point.x, point.y)]
-                except Exception:
-                    near = []
-            result.append(near[: config.max_candidates])
-        return result
+    # --------------------------------------------------- shared with online
+    def candidates_near(self, x: float, y: float) -> List[Tuple[int, float]]:
+        """Candidate ``(segment, distance)`` pairs for one GPS fix.
 
-    def _network_distance(self, from_segment: int, to_segment: int) -> float:
-        """Bounded network distance between two segments (metres)."""
+        Segments within ``candidate_radius_m`` sorted by distance (falling
+        back to the single nearest segment when the radius finds nothing),
+        truncated to ``max_candidates``. This is the exact per-point
+        candidate generation of :meth:`match`, exposed so the incremental
+        :class:`~repro.mapmatching.online.OnlineMapMatcher` builds the same
+        lattice the offline Viterbi would.
+        """
+        config = self._config
+        near = self._index.segments_near(x, y, config.candidate_radius_m)
+        if not near:
+            try:
+                near = [self._index.nearest_segment(x, y)]
+            except Exception:
+                near = []
+        return near[: config.max_candidates]
+
+    def network_distance(self, from_segment: int, to_segment: int) -> float:
+        """Bounded network distance between two segments (metres), cached."""
         key = (from_segment, to_segment)
-        cached = self._distance_cache.get(key)
+        cached = self._distance_cache.lookup(key)
         if cached is not None:
             return cached
         if from_segment == to_segment:
-            self._distance_cache[key] = 0.0
-            return 0.0
-        distance = self._bounded_dijkstra(from_segment, to_segment)
-        self._distance_cache[key] = distance
+            distance = 0.0
+        else:
+            distance = self._bounded_dijkstra(from_segment, to_segment)
+        self._distance_cache.store(key, distance)
         return distance
+
+    # ------------------------------------------------------------ internals
+    def _candidates(self, trajectory: RawTrajectory) -> List[List[Tuple[int, float]]]:
+        """Candidate (segment, distance) lists for every GPS point."""
+        return [self.candidates_near(point.x, point.y)
+                for point in trajectory.points]
 
     def _bounded_dijkstra(self, source: int, target: int) -> float:
         """Shortest network distance, giving up after ``routing_max_hops`` expansions."""
@@ -171,7 +240,7 @@ class HMMMapMatcher:
                 for k, (from_segment, _) in enumerate(candidates_per_point[i - 1]):
                     if scores[i - 1][k] == float("-inf"):
                         continue
-                    network_distance = self._network_distance(from_segment, to_segment)
+                    network_distance = self.network_distance(from_segment, to_segment)
                     if network_distance == float("inf"):
                         continue
                     transition = transition_log_prob(

@@ -1,0 +1,407 @@
+"""Online incremental map matching: point-by-point Viterbi for GPS streams.
+
+The offline :class:`~repro.mapmatching.hmm.HMMMapMatcher` needs a whole
+trajectory before decoding can start, so nothing built on it can serve the
+paper's actual deployment scenario — noisy raw GPS fixes arriving one at a
+time from thousands of vehicles. :class:`OnlineMapMatcher` closes that gap
+with a **sliding-window Viterbi** over per-vehicle candidate lattices:
+
+* **Identical models.** Candidate generation, the Gaussian emission model,
+  the exponential transition model and the segment-pair network-distance
+  cache are *shared with* the offline matcher (one
+  :class:`~repro.mapmatching.hmm.HMMMapMatcher` instance backs any number of
+  vehicle sessions), so the per-column scores are bit-identical to the
+  columns the offline Viterbi would compute.
+* **Convergence commits.** After each new fix the matcher walks the
+  backpointers of every still-viable candidate of the newest column. Every
+  prefix column on which *all* of them agree is provably part of whatever
+  path the offline Viterbi will eventually pick — those points are committed
+  (emitted as matched road segments) immediately and their columns dropped.
+  On clean traces this keeps the lattice a handful of points deep and the
+  final segment sequence *exactly equal* to the offline match.
+* **Bounded latency.** Ambiguity can postpone convergence indefinitely (two
+  parallel roads under a wide-noise fix), so ``max_pending`` bounds the
+  uncommitted lattice: when exceeded, the current best path is committed
+  outright (a *forced commit* — counted, and the only situation in which the
+  online decision can deviate from offline Viterbi).
+* **Connected output.** Committed candidates run through the same
+  collapse-duplicates / bridge-gaps post-processing as the offline matcher's
+  ``_connect`` — applied incrementally, left to right, which yields the same
+  route — so consumers downstream (the detection service) always see a
+  connected road-segment stream.
+
+Failure modes mirror the offline matcher point for point: a fix with no
+candidate anywhere raises :class:`~repro.exceptions.UnmatchablePointError`
+(offline: the whole trajectory fails), a fix none of whose candidates is
+reachable from the previous column raises
+:class:`~repro.exceptions.MatchBreakError` (offline: Viterbi dead-ends).
+Both leave the session consistent and the offending point unconsumed, so a
+stream-side caller (the ingest gateway) can drop the fix or split the trip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..exceptions import (DisconnectedRouteError, MapMatchingError,
+                          MatchBreakError, UnmatchablePointError)
+from ..roadnet.shortest_path import dijkstra_route
+from ..trajectory.models import GPSPoint
+from .emission import gaussian_emission_log_prob
+from .hmm import HMMMapMatcher
+from .transition import transition_log_prob
+
+_NEG_INF = float("-inf")
+
+#: Commit-lag samples kept per matcher before sampling stops (the running
+#: max / mean keep updating; only the raw distribution is capped).
+_MAX_LAG_SAMPLES = 100_000
+
+
+@dataclass
+class _Column:
+    """One GPS fix's slice of a session's candidate lattice."""
+
+    candidates: List[Tuple[int, float]]  # (segment, distance) pairs
+    backpointers: List[int]              # into the previous column
+    arrival: int                         # session-local point index
+
+
+@dataclass
+class _Session:
+    """The live lattice of one vehicle's trip."""
+
+    columns: List[_Column] = field(default_factory=list)
+    scores: List[float] = field(default_factory=list)  # newest column only
+    last_point: Optional[GPSPoint] = None
+    anchored: bool = False      # columns[0] is already committed
+    route: List[int] = field(default_factory=list)   # connected, committed
+    route_tail: Optional[int] = None
+    points_matched: int = 0
+    forced_commits: int = 0
+    max_commit_lag: int = 0
+
+    @property
+    def uncommitted(self) -> int:
+        return len(self.columns) - (1 if self.anchored else 0)
+
+
+@dataclass
+class OnlineMatchResult:
+    """Outcome of one finished online-matching session.
+
+    ``route`` is the full connected matched route (every segment was already
+    emitted through :meth:`OnlineMapMatcher.push` / :meth:`finish`);
+    ``log_likelihood`` is the Viterbi score of the decoded path (equal to the
+    offline matcher's on convergence-only sessions); ``forced_commits``
+    counts window-bound emissions (0 means the decode was exact);
+    ``broken`` marks a session whose final commit could not be connected
+    (the offline matcher would have failed the whole trajectory).
+    """
+
+    route: List[int]
+    log_likelihood: float
+    points_matched: int
+    forced_commits: int
+    max_commit_lag: int
+    broken: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.route) and not self.broken
+
+
+class OnlineMapMatcher:
+    """Incremental HMM map matcher over per-vehicle GPS streams.
+
+    Wraps an offline :class:`HMMMapMatcher` (whose emission/transition
+    models, spatial index and segment-pair distance cache it shares across
+    every session) and matches any number of concurrent vehicle streams
+    point by point: :meth:`push` feeds one fix and returns the road segments
+    whose match just became final, :meth:`finish` closes a trip and returns
+    the remainder plus the session summary.
+    """
+
+    def __init__(self, matcher: HMMMapMatcher, max_pending: int = 64):
+        if max_pending < 2:
+            raise MapMatchingError("max_pending must be >= 2")
+        self._matcher = matcher
+        self._network = matcher.network
+        self._config = matcher.config
+        self._max_pending = max_pending
+        self._sessions: Dict[Hashable, _Session] = {}
+        # Fleet-wide commit statistics (the gateway's latency dashboard).
+        self.commits = 0
+        self.forced_commits = 0
+        self.max_commit_lag = 0
+        self.commit_lag_sum = 0
+        self.commit_lag_samples: List[int] = []
+
+    # ------------------------------------------------------------ properties
+    @property
+    def matcher(self) -> HMMMapMatcher:
+        return self._matcher
+
+    @property
+    def max_pending(self) -> int:
+        return self._max_pending
+
+    @property
+    def active_sessions(self) -> List[Hashable]:
+        return list(self._sessions)
+
+    @property
+    def mean_commit_lag(self) -> float:
+        return self.commit_lag_sum / self.commits if self.commits else 0.0
+
+    def has_session(self, key: Hashable) -> bool:
+        return key in self._sessions
+
+    def pending_points(self, key: Hashable) -> int:
+        """Fixes of one session matched but not yet committed."""
+        return self._session(key).uncommitted
+
+    # ------------------------------------------------------------------ push
+    def push(self, key: Hashable, point: GPSPoint) -> List[int]:
+        """Feed one GPS fix of one vehicle; returns newly committed segments.
+
+        The first push for an unknown ``key`` opens the session. The
+        returned segments are connected continuations of everything emitted
+        for this session so far (duplicates collapsed, gaps bridged by
+        shortest paths — the offline matcher's route post-processing applied
+        incrementally). Raises :class:`UnmatchablePointError` /
+        :class:`MatchBreakError` *without consuming the point* — see the
+        module docstring for the recovery contract.
+        """
+        candidates = self._matcher.candidates_near(point.x, point.y)
+        if not candidates:
+            raise UnmatchablePointError(
+                f"GPS fix ({point.x:.1f}, {point.y:.1f}) has no candidate "
+                "segment anywhere near it")
+        session = self._sessions.get(key)
+        if session is None:
+            session = _Session()
+            self._sessions[key] = session
+        config = self._config
+
+        if not session.columns:
+            scores = [gaussian_emission_log_prob(distance, config.gps_sigma_m)
+                      for _, distance in candidates]
+            session.columns.append(
+                _Column(candidates, [-1] * len(candidates), 0))
+            session.scores = scores
+            session.last_point = point
+            session.points_matched = 1
+            return self._converge(session)
+
+        previous_point = session.last_point
+        straight = math.hypot(point.x - previous_point.x,
+                              point.y - previous_point.y)
+        previous_column = session.columns[-1]
+        previous_scores = session.scores
+        current_scores: List[float] = []
+        current_back: List[int] = []
+        for to_segment, to_distance in candidates:
+            emission = gaussian_emission_log_prob(to_distance,
+                                                  config.gps_sigma_m)
+            best_score = _NEG_INF
+            best_prev = -1
+            for k, (from_segment, _) in enumerate(previous_column.candidates):
+                if previous_scores[k] == _NEG_INF:
+                    continue
+                network_distance = self._matcher.network_distance(
+                    from_segment, to_segment)
+                if network_distance == float("inf"):
+                    continue
+                transition = transition_log_prob(
+                    straight, network_distance, config.transition_beta)
+                total = previous_scores[k] + transition + emission
+                if total > best_score:
+                    best_score = total
+                    best_prev = k
+            current_scores.append(best_score)
+            current_back.append(best_prev)
+        if all(score == _NEG_INF for score in current_scores):
+            raise MatchBreakError(
+                f"no candidate of GPS fix ({point.x:.1f}, {point.y:.1f}) is "
+                "reachable from the previous fix's candidates")
+
+        session.columns.append(
+            _Column(candidates, current_back, session.points_matched))
+        session.scores = current_scores
+        session.last_point = point
+        session.points_matched += 1
+
+        # A bridging failure during commit cannot actually occur (every
+        # committed adjacent pair is linked by a finite-network-distance
+        # transition, so a connecting route exists), but if the defensive
+        # raise in _commit ever fires the lattice has already consumed the
+        # point — drop the whole session rather than break the "point not
+        # consumed" contract with a half-updated lattice. The committed
+        # route emitted so far remains valid.
+        try:
+            emitted = self._converge(session)
+            if session.uncommitted > self._max_pending:
+                emitted += self._force_commit(session)
+        except MatchBreakError:
+            self.discard(key)
+            raise
+        return emitted
+
+    # ---------------------------------------------------------------- finish
+    def finish(self, key: Hashable) -> OnlineMatchResult:
+        """Close one session: commit its remaining lattice, return the route.
+
+        The backtrack from the final column reproduces the offline Viterbi
+        decision exactly (same tie-breaks), so on a session that never hit a
+        forced commit the concatenated route equals the offline match. A
+        route whose final commit cannot be connected comes back with
+        ``broken=True`` (the offline matcher would have failed outright).
+        """
+        session = self._session(key)
+        del self._sessions[key]
+        if not session.columns:  # pragma: no cover - defensive
+            return OnlineMatchResult([], _NEG_INF, 0, 0, 0)
+        best, path = self._best_path(session)
+        score = session.scores[best]
+        start = 1 if session.anchored else 0
+        broken = False
+        try:
+            self._commit(session,
+                         [(session.columns[i], path[i])
+                          for i in range(start, len(session.columns))])
+        except MatchBreakError:
+            broken = True
+        return OnlineMatchResult(
+            route=session.route,
+            log_likelihood=float(score),
+            points_matched=session.points_matched,
+            forced_commits=session.forced_commits,
+            max_commit_lag=session.max_commit_lag,
+            broken=broken,
+        )
+
+    def discard(self, key: Hashable) -> None:
+        """Drop one session without committing its pending lattice."""
+        self._sessions.pop(key, None)
+
+    # ------------------------------------------------------------- internals
+    def _session(self, key: Hashable) -> _Session:
+        try:
+            return self._sessions[key]
+        except KeyError:
+            raise MapMatchingError(
+                f"no active matching session for {key!r}") from None
+
+    def _converge(self, session: _Session) -> List[int]:
+        """Commit every prefix column all viable paths agree on."""
+        columns = session.columns
+        alive = {i for i, score in enumerate(session.scores)
+                 if score != _NEG_INF}
+        alive_sets: List[set] = [set()] * len(columns)
+        alive_sets[-1] = alive
+        for i in range(len(columns) - 1, 0, -1):
+            alive_sets[i - 1] = {columns[i].backpointers[j]
+                                 for j in alive_sets[i]}
+        start = 1 if session.anchored else 0
+        commit_to = start
+        while commit_to < len(columns) and len(alive_sets[commit_to]) == 1:
+            commit_to += 1
+        if commit_to == start:
+            return []
+        chosen = [next(iter(alive_sets[i])) for i in range(start, commit_to)]
+        emitted = self._commit(
+            session, list(zip(columns[start:commit_to], chosen)))
+        # Re-root the lattice on the last committed column.
+        root_index = commit_to - 1
+        root_choice = chosen[-1]
+        root_column = columns[root_index]
+        new_root = _Column([root_column.candidates[root_choice]], [-1],
+                           root_column.arrival)
+        remainder = columns[commit_to:]
+        if remainder:
+            remainder[0].backpointers = [
+                0 if pointer == root_choice else -1
+                for pointer in remainder[0].backpointers]
+        else:
+            session.scores = [session.scores[root_choice]]
+        session.columns = [new_root] + remainder
+        session.anchored = True
+        return emitted
+
+    @staticmethod
+    def _best_path(session: _Session) -> Tuple[int, List[int]]:
+        """Viterbi backtrack: the best final candidate (offline tie-break —
+        first maximum) and the chosen candidate index per column."""
+        best = max(range(len(session.scores)),
+                   key=lambda k: session.scores[k])
+        path = [best]
+        for i in range(len(session.columns) - 1, 0, -1):
+            path.append(session.columns[i].backpointers[path[-1]])
+        path.reverse()
+        return best, path
+
+    def _force_commit(self, session: _Session) -> List[int]:
+        """Window overflow: commit the current best path outright."""
+        columns = session.columns
+        best, path = self._best_path(session)
+        start = 1 if session.anchored else 0
+        emitted = self._commit(
+            session, [(columns[i], path[i])
+                      for i in range(start, len(columns))])
+        last_column = columns[-1]
+        session.columns = [
+            _Column([last_column.candidates[best]], [-1], last_column.arrival)]
+        session.scores = [session.scores[best]]
+        session.anchored = True
+        session.forced_commits += 1
+        self.forced_commits += 1
+        return emitted
+
+    def _commit(self, session: _Session,
+                choices: List[Tuple[_Column, int]]) -> List[int]:
+        """Emit chosen candidates through the incremental route connector.
+
+        Atomic: the connected continuation is computed in full before any
+        session state changes, so a bridging failure (raised as
+        :class:`MatchBreakError`) leaves the session's committed route
+        exactly as it was.
+        """
+        tail = session.route_tail
+        emitted: List[int] = []
+        for column, choice in choices:
+            segment = column.candidates[choice][0]
+            if tail is None:
+                emitted.append(segment)
+            elif segment == tail:
+                pass
+            elif segment in self._network.successor_segments(tail):
+                emitted.append(segment)
+            else:
+                try:
+                    bridge = dijkstra_route(self._network, tail, segment)
+                except DisconnectedRouteError:
+                    raise MatchBreakError(
+                        f"committed route cannot be connected from segment "
+                        f"{tail} to segment {segment}") from None
+                emitted.extend(bridge[1:])
+            if emitted:
+                tail = emitted[-1]
+        # Point of no return: apply route and lag accounting.
+        newest_arrival = session.points_matched - 1
+        for column, _ in choices:
+            lag = newest_arrival - column.arrival
+            session.max_commit_lag = max(session.max_commit_lag, lag)
+            self.max_commit_lag = max(self.max_commit_lag, lag)
+            self.commit_lag_sum += lag
+            self.commits += 1
+            if len(self.commit_lag_samples) < _MAX_LAG_SAMPLES:
+                self.commit_lag_samples.append(lag)
+        session.route.extend(emitted)
+        if emitted:
+            session.route_tail = emitted[-1]
+        elif choices and session.route_tail is None:  # pragma: no cover
+            raise MapMatchingError("commit produced no route prefix")
+        return emitted

@@ -21,7 +21,7 @@ from .backends import IngestEvent, InProcessBackend, ProcessBackend
 from .checkpoint import (CHECKPOINT_VERSION, clone_model, load_model,
                          model_from_bytes, model_to_bytes, save_model,
                          weights_snapshot)
-from .metrics import ServiceMetrics, ShardStats
+from .metrics import GatewayStats, ServiceMetrics, ShardStats
 from .service import DetectionService, IngestStatus, serve_fleet
 from .sharding import shard_of
 
@@ -32,6 +32,7 @@ __all__ = [
     "IngestEvent",
     "InProcessBackend",
     "ProcessBackend",
+    "GatewayStats",
     "ServiceMetrics",
     "ShardStats",
     "shard_of",

@@ -23,7 +23,9 @@ tick, and per-stream state is self-contained), so sharding a fleet across
 engines — in whatever process — yields exactly the labels of one big engine.
 
 Worker protocol (process backend): commands are tuples ``(kind, ...)`` on
-the bounded command queue; ``ingest`` is fire-and-forget, while ``sync`` /
+the bounded command queue; ``ingest`` and ``ingest_batch`` (one command
+carrying many points — the IPC-amortized path behind
+:meth:`DetectionService.ingest_many`) are fire-and-forget, while ``sync`` /
 ``finalize`` / ``stats`` / ``swap`` / ``stop`` each produce exactly one
 reply ``(kind, payload)`` on the result queue. The single-caller service
 never pipelines two replied commands at once, so replies cannot interleave.
@@ -85,6 +87,19 @@ class ServiceBackend:
 
     def ingest(self, shard: int, event: IngestEvent) -> bool:
         """Queue one event to a shard; ``False`` means the queue is full."""
+        raise NotImplementedError
+
+    def ingest_batch(self, shard: int, events: Sequence[IngestEvent]) -> bool:
+        """Queue several events to a shard as one command, all-or-nothing.
+
+        A batch occupies a *single* slot of the shard's bounded queue — on
+        the process backend that is one IPC put instead of ``len(events)``,
+        which is where the multi-shard ingest amortization comes from. The
+        queue-depth bound therefore counts commands, not points; callers
+        bound their batch size (:class:`~repro.config.GatewayConfig.
+        ingest_batch`) to keep worst-case buffering proportional.
+        ``False`` means the shard queue is full and *nothing* was queued.
+        """
         raise NotImplementedError
 
     def pump(self) -> int:
@@ -165,6 +180,16 @@ class InProcessBackend(ServiceBackend):
         if len(state.queue) >= state.queue_depth:
             return False
         state.queue.append(event)
+        return True
+
+    def ingest_batch(self, shard: int, events: Sequence[IngestEvent]) -> bool:
+        # Mirror the process backend's accounting: the depth bound counts
+        # commands, and a batch is one command (here: one free slot admits
+        # the whole batch).
+        state = self._shards[shard]
+        if len(state.queue) >= state.queue_depth:
+            return False
+        state.queue.extend(events)
         return True
 
     def pump(self) -> int:
@@ -261,6 +286,15 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
             started = time.perf_counter()
             try:
                 apply_event(engine, command[1])
+            except BaseException as error:  # surfaced at the next request
+                pending_error = error
+            busy_seconds += time.perf_counter() - started
+            return True
+        if kind == "ingest_batch":
+            started = time.perf_counter()
+            try:
+                for event in command[1]:
+                    apply_event(engine, event)
             except BaseException as error:  # surfaced at the next request
                 pending_error = error
             busy_seconds += time.perf_counter() - started
@@ -398,6 +432,14 @@ class ProcessBackend(ServiceBackend):
     def ingest(self, shard: int, event: IngestEvent) -> bool:
         try:
             self._shards[shard].commands.put_nowait(("ingest", event))
+        except queue_module.Full:
+            return False
+        return True
+
+    def ingest_batch(self, shard: int, events: Sequence[IngestEvent]) -> bool:
+        try:
+            self._shards[shard].commands.put_nowait(
+                ("ingest_batch", list(events)))
         except queue_module.Full:
             return False
         return True

@@ -72,13 +72,98 @@ class ShardStats:
 
 
 @dataclass
+class GatewayStats:
+    """A point-in-time snapshot of a raw-GPS ingest gateway.
+
+    Tracks the messy-input funnel (raw fixes in → reordered → matched →
+    segments emitted into the service) and the online matcher's commit
+    behaviour (convergence vs. window-forced commits, commit lag measured in
+    follow-up points). Produced by :meth:`repro.ingest.GpsGateway.metrics`,
+    which attaches it to the service's :class:`ServiceMetrics`.
+    """
+
+    raw_points: int = 0
+    matched_points: int = 0
+    segments_emitted: int = 0
+    late_dropped: int = 0
+    duplicates_dropped: int = 0
+    unmatched_dropped: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    sessions_dropped: int = 0
+    sessions_broken: int = 0
+    gap_splits: int = 0
+    commits: int = 0
+    forced_commits: int = 0
+    max_commit_lag: int = 0
+    mean_commit_lag: float = 0.0
+    batched_flushes: int = 0
+    reorder_buffered: int = 0
+
+    @property
+    def dropped_points(self) -> int:
+        return (self.late_dropped + self.duplicates_dropped
+                + self.unmatched_dropped)
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped_points / self.raw_points if self.raw_points else 0.0
+
+    @property
+    def forced_commit_rate(self) -> float:
+        return self.forced_commits / self.commits if self.commits else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "raw_points": self.raw_points,
+            "matched_points": self.matched_points,
+            "segments_emitted": self.segments_emitted,
+            "late_dropped": self.late_dropped,
+            "duplicates_dropped": self.duplicates_dropped,
+            "unmatched_dropped": self.unmatched_dropped,
+            "dropped_points": self.dropped_points,
+            "drop_rate": self.drop_rate,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "sessions_dropped": self.sessions_dropped,
+            "sessions_broken": self.sessions_broken,
+            "gap_splits": self.gap_splits,
+            "commits": self.commits,
+            "forced_commits": self.forced_commits,
+            "forced_commit_rate": self.forced_commit_rate,
+            "max_commit_lag": self.max_commit_lag,
+            "mean_commit_lag": self.mean_commit_lag,
+            "batched_flushes": self.batched_flushes,
+            "reorder_buffered": self.reorder_buffered,
+        }
+
+    def format(self) -> str:
+        return (
+            f"GpsGateway: {self.raw_points} raw fixes -> "
+            f"{self.matched_points} matched -> "
+            f"{self.segments_emitted} segments "
+            f"(dropped {self.late_dropped} late, "
+            f"{self.duplicates_dropped} duplicate, "
+            f"{self.unmatched_dropped} unmatchable), "
+            f"{self.sessions_closed} sessions closed "
+            f"({self.gap_splits} gap splits, {self.sessions_dropped} empty, "
+            f"{self.sessions_broken} broken), "
+            f"commit lag mean {self.mean_commit_lag:.1f} / "
+            f"max {self.max_commit_lag} points "
+            f"({self.forced_commit_rate:.1%} forced), "
+            f"{self.batched_flushes} batched flushes")
+
+
+@dataclass
 class ServiceMetrics:
     """The fleet view: all shard snapshots plus service-level counters."""
 
     shards: List[ShardStats] = field(default_factory=list)
     accepted_ingests: int = 0
     rejected_ingests: int = 0
+    batched_ingests: int = 0
     model_version: int = 0
+    gateway: Optional[GatewayStats] = None
 
     @property
     def num_shards(self) -> int:
@@ -132,6 +217,7 @@ class ServiceMetrics:
             f"cache hit rate {self.cache_hit_rate:.1%}, "
             f"backpressure rejections {self.rejected_ingests} "
             f"({self.rejection_rate:.1%}), "
+            f"{self.batched_ingests} batched ingests, "
             f"model v{self.model_version}",
         ]
         for shard in self.shards:
@@ -141,4 +227,6 @@ class ServiceMetrics:
                 f"(avg batch {shard.mean_tick_batch:.1f}), "
                 f"queue {shard.queue_depth}, pending {shard.pending_points}, "
                 f"cache {shard.cache_hit_rate:.1%}, swaps {shard.swaps}")
+        if self.gateway is not None:
+            lines.append(f"  {self.gateway.format()}")
         return "\n".join(lines)

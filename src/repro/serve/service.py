@@ -91,6 +91,7 @@ class DetectionService:
         self._open: Dict[Hashable, int] = {}
         self._accepted = 0
         self._rejected = 0
+        self._batched_ingests = 0
         self._model_version = 1
         self._closed = False
         if backend == "inprocess":
@@ -156,15 +157,9 @@ class DetectionService:
         stream would be observed out of order.
         """
         self._require_open_service()
-        self._vocabulary.token(segment)  # raises LabelingError, fail-fast
-        opening = vehicle_id not in self._open
-        if opening:
-            if destination is not None:
-                self._vocabulary.token(destination)
-            event = IngestEvent(vehicle_id, segment, destination,
-                                start_time_s, trajectory_id)
-        else:
-            event = IngestEvent(vehicle_id, segment, None, 0.0, None)
+        event, opening = self._admit(
+            IngestEvent(vehicle_id, segment, destination, start_time_s,
+                        trajectory_id), ())
         shard = self.shard_for(vehicle_id)
         if not self._backend.ingest(shard, event):
             self._rejected += 1
@@ -194,6 +189,83 @@ class DetectionService:
             if self.pump() == 0:
                 time.sleep(retry_wait_s)
         return retries
+
+    def ingest_many(
+        self,
+        requests: Sequence[IngestEvent],
+        max_retries: int = 10000,
+        retry_wait_s: float = 0.0005,
+    ) -> int:
+        """Queue many points as per-shard batches, riding out backpressure.
+
+        ``requests`` are :class:`~repro.serve.backends.IngestEvent` tuples
+        ``(vehicle_id, segment, destination, start_time_s, trajectory_id)``;
+        as with :meth:`ingest`, the opening fields are only read by the first
+        event of a new vehicle stream (later events of the same vehicle —
+        even inside the same call — have them ignored). Events are validated
+        up front (``LabelingError`` before anything is queued), grouped by
+        shard *preserving per-vehicle order*, and each shard's group is
+        queued as **one** batched command — on the process backend that is
+        one IPC put per shard instead of one per point, which is what lets
+        multi-shard ingest keep up with a fast producer (the raw-GPS
+        gateway). A full shard queue is retried with the
+        :meth:`ingest_blocking` discipline, each shard getting its own
+        ``max_retries`` budget; a shard's batch is all-or-nothing, so no
+        partial delivery can reorder a stream. If a shard exhausts its
+        budget a ``ServiceError`` is raised, but batches already queued to
+        earlier shards *stay delivered* (their streams are tracked) — do
+        not resubmit those events. Returns total retries used.
+        """
+        self._require_open_service()
+        if not requests:
+            return 0
+        opening: Dict[Hashable, int] = {}
+        by_shard: Dict[int, List[IngestEvent]] = {}
+        openers: Dict[int, List[Hashable]] = {}
+        for request in requests:
+            event, opens = self._admit(IngestEvent(*request), opening)
+            shard = self.shard_for(event.vehicle_id)
+            if opens:
+                opening[event.vehicle_id] = shard
+                openers.setdefault(shard, []).append(event.vehicle_id)
+            by_shard.setdefault(shard, []).append(event)
+        total_retries = 0
+        for shard, events in by_shard.items():
+            retries = 0
+            while not self._backend.ingest_batch(shard, events):
+                self._rejected += 1
+                retries += 1
+                if retries > max_retries:
+                    raise ServiceError(
+                        f"shard {shard} queue stayed full after "
+                        f"{max_retries} retries of a batched ingest")
+                if self.pump() == 0:
+                    time.sleep(retry_wait_s)
+            total_retries += retries
+            self._accepted += len(events)
+            self._batched_ingests += 1
+            # Track this shard's new streams immediately, so a failure on a
+            # *later* shard cannot leave delivered streams untracked.
+            for vehicle_id in openers.get(shard, ()):
+                self._open[vehicle_id] = shard
+        return total_retries
+
+    def _admit(self, request: IngestEvent, opening) -> Tuple[IngestEvent, bool]:
+        """Validate one point and normalize it to its queued event.
+
+        Shared by :meth:`ingest` and :meth:`ingest_many` so the per-point
+        and batched paths cannot drift apart. ``opening`` holds vehicles
+        already opened earlier in the same batched call. Returns the event
+        (opening fields stripped for an already-open stream) and whether it
+        opens a new stream.
+        """
+        self._vocabulary.token(request.segment)  # LabelingError, fail-fast
+        if request.vehicle_id in self._open or request.vehicle_id in opening:
+            return IngestEvent(request.vehicle_id, request.segment,
+                               None, 0.0, None), False
+        if request.destination is not None:
+            self._vocabulary.token(request.destination)
+        return request, True
 
     # ------------------------------------------------------------- progress
     def pump(self) -> int:
@@ -295,6 +367,7 @@ class DetectionService:
             shards=self._backend.stats(),
             accepted_ingests=self._accepted,
             rejected_ingests=self._rejected,
+            batched_ingests=self._batched_ingests,
             model_version=self._model_version,
         )
 

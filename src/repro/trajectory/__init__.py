@@ -15,6 +15,7 @@ from .models import (
     Subtrajectory,
 )
 from .ops import (
+    interleave_raw_streams,
     interleave_streams,
     route_of,
     split_by_labels,
@@ -42,6 +43,7 @@ __all__ = [
     "transitions_of",
     "subtrajectory_spans",
     "split_by_labels",
+    "interleave_raw_streams",
     "interleave_streams",
     "discrete_frechet",
     "edit_distance_routes",

@@ -1,0 +1,389 @@
+"""Differential and edge-case tests of the raw-GPS ingest gateway.
+
+The acceptance bar: on clean (noise-free-ish, in-order, gap-free) fleets,
+``GpsGateway -> DetectionService`` produces *label-identical* detections to
+the offline pipeline ``HMMMapMatcher.match -> DetectionService`` — across
+shard counts and both backends — because the online matcher commits exactly
+the offline route and both sides run the same deferred SD-pair streams.
+Around that, the messy-input scenarios the gateway exists for: out-of-order
+fixes inside and beyond the reorder window, duplicated timestamps, fixes
+nowhere near a road, and long time gaps splitting a trip into sessions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GatewayConfig
+from repro.datagen import sample_gps_trace
+from repro.exceptions import ConfigurationError, GatewayError, ServiceError
+from repro.ingest import GpsGateway, serve_raw_fleet
+from repro.mapmatching import HMMMapMatcher, OnlineMapMatcher
+from repro.trajectory import GPSPoint, RawTrajectory
+
+
+@pytest.fixture(scope="module")
+def offline_matcher(dataset):
+    return HMMMapMatcher(dataset.network)
+
+
+def clean_raws(dataset, trajectories, seed=0, noise=1.0):
+    """Raw GPS traces of ground-truth routes, mild noise, in order."""
+    rng = np.random.default_rng(seed)
+    return [sample_gps_trace(dataset.network, truth.segments,
+                             truth.start_time_s, rng, gps_noise_m=noise,
+                             trajectory_id=truth.trajectory_id)
+            for truth in trajectories]
+
+
+def offline_reference(model, matcher, raws, **service_kwargs):
+    """The offline pipeline: whole-trajectory match -> deferred streams."""
+    matches = [matcher.match(raw) for raw in raws]
+    assert all(match.succeeded for match in matches)
+    results = []
+    with model.detection_service(**service_kwargs) as service:
+        for index, match in enumerate(matches):
+            matched = match.matched
+            for position, segment in enumerate(matched.segments):
+                if position == 0:
+                    service.ingest_blocking(
+                        index, segment, start_time_s=matched.start_time_s)
+                else:
+                    service.ingest_blocking(index, segment)
+            results.append(service.finalize(index))
+    return results
+
+
+def run_gateway(model, matcher, raws, config=None, **service_kwargs):
+    with model.detection_service(**service_kwargs) as service:
+        gateway = GpsGateway(service, matcher, config)
+        outputs = serve_raw_fleet(gateway, raws, concurrency=8)
+        stats = gateway.stats()
+    return outputs, stats
+
+
+def assert_single_sessions_match(reference, outputs):
+    for expected, sessions in zip(reference, outputs):
+        assert len(sessions) == 1
+        result = sessions[0]
+        assert result.labels == expected.labels
+        assert result.spans == expected.spans
+        assert result.trajectory.segments == expected.trajectory.segments
+
+
+# ------------------------------------------------------------- equivalence
+@pytest.mark.fleet
+@pytest.mark.parametrize("num_shards,backend", [(1, "inprocess"),
+                                                (2, "inprocess"),
+                                                (3, "inprocess"),
+                                                (2, "process")])
+def test_gateway_matches_offline_pipeline_on_clean_fleets(
+        trained_model, dataset, dataset_split, offline_matcher,
+        num_shards, backend):
+    """Acceptance: gateway->service label-identical to offline-match->service
+    on clean fleets, across shard counts and both backends."""
+    _, development, test = dataset_split
+    fleet = (list(test) + list(development))[:12]
+    raws = clean_raws(dataset, fleet, seed=num_shards)
+    reference = offline_reference(trained_model, offline_matcher, raws,
+                                  num_shards=num_shards, backend=backend)
+    outputs, stats = run_gateway(trained_model, offline_matcher, raws,
+                                 num_shards=num_shards, backend=backend)
+    assert_single_sessions_match(reference, outputs)
+    assert stats.sessions_closed == len(fleet)
+    assert stats.dropped_points == 0
+    assert stats.sessions_broken == 0
+
+
+@pytest.mark.fleet
+def test_gateway_batched_and_per_point_ingest_agree(trained_model, dataset,
+                                                    dataset_split,
+                                                    offline_matcher):
+    """ingest_batch=N and the per-point path deliver identical labels; the
+    batched run actually exercises batched service commands."""
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:8], seed=11)
+    per_point_results = None
+    for batch in (1, 16):
+        with trained_model.detection_service(num_shards=2) as service:
+            gateway = GpsGateway(service, offline_matcher,
+                                 GatewayConfig(ingest_batch=batch))
+            outputs = serve_raw_fleet(gateway, raws, concurrency=4)
+            metrics = gateway.metrics()
+        labels = [[session.labels for session in sessions]
+                  for sessions in outputs]
+        if batch == 1:
+            per_point_results = labels
+            assert metrics.batched_ingests == 0
+        else:
+            assert labels == per_point_results
+            assert metrics.batched_ingests > 0
+            assert metrics.gateway is not None
+            assert metrics.gateway.batched_flushes > 0
+            assert "GpsGateway" in metrics.format()
+
+
+# ------------------------------------------------------------ out of order
+def test_out_of_order_within_window_is_repaired(trained_model, dataset,
+                                                dataset_split,
+                                                offline_matcher):
+    """Swapping adjacent fixes (displacement 1 <= reorder_window) must give
+    exactly the in-order results."""
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:4], seed=21)
+    config = GatewayConfig(reorder_window=4, ingest_batch=8)
+    reference, _ = run_gateway(trained_model, offline_matcher, raws,
+                               config=config, num_shards=2)
+    shuffled = []
+    for raw in raws:
+        points = list(raw.points)
+        for i in range(0, len(points) - 1, 2):
+            points[i], points[i + 1] = points[i + 1], points[i]
+        shuffled.append(points)
+    with trained_model.detection_service(num_shards=2) as service:
+        gateway = GpsGateway(service, offline_matcher, config)
+        outputs = []
+        for vehicle, points in enumerate(shuffled):
+            sessions = []
+            for position, point in enumerate(points):
+                sessions.extend(gateway.push_point(
+                    vehicle, point,
+                    start_time_s=raws[vehicle].start_time_s
+                    if position == 0 else None))
+            sessions.extend(gateway.end(vehicle))
+            outputs.append([s.result for s in sessions])
+        stats = gateway.stats()
+    assert stats.late_dropped == 0 and stats.duplicates_dropped == 0
+    for expected_sessions, got_sessions in zip(reference, outputs):
+        assert [r.labels for r in expected_sessions] == \
+            [r.labels for r in got_sessions]
+
+
+def test_point_beyond_reorder_window_is_dropped(trained_model, dataset,
+                                                dataset_split,
+                                                offline_matcher):
+    """A fix delayed past the reorder window is dropped (counted), and the
+    results equal a run on the trace without that fix."""
+    _, _, test = dataset_split
+    raw = clean_raws(dataset, [max(test, key=len)], seed=22)[0]
+    victim = len(raw.points) // 2
+    without = RawTrajectory(raw.trajectory_id,
+                            [p for i, p in enumerate(raw.points)
+                             if i != victim],
+                            start_time_s=raw.start_time_s)
+    config = GatewayConfig(reorder_window=3, ingest_batch=8)
+    reference, reference_stats = run_gateway(
+        trained_model, offline_matcher, [without], config=config,
+        num_shards=1)
+    assert reference_stats.late_dropped == 0
+    delayed = [p for i, p in enumerate(raw.points) if i != victim]
+    delayed.append(raw.points[victim])  # arrives after the whole trip
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher, config)
+        sessions = []
+        for position, point in enumerate(delayed):
+            sessions.extend(gateway.push_point(
+                0, point,
+                start_time_s=raw.start_time_s if position == 0 else None))
+        sessions.extend(gateway.end(0))
+        stats = gateway.stats()
+    assert stats.late_dropped == 1
+    assert [r.labels for r in reference[0]] == \
+        [s.result.labels for s in sessions]
+
+
+def test_duplicate_timestamps_are_dropped(trained_model, dataset,
+                                          dataset_split, offline_matcher):
+    _, _, test = dataset_split
+    raw = clean_raws(dataset, [test[0]], seed=23)[0]
+    config = GatewayConfig(reorder_window=2, ingest_batch=8)
+    reference, _ = run_gateway(trained_model, offline_matcher, [raw],
+                               config=config, num_shards=1)
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher, config)
+        sessions = []
+        for position, point in enumerate(raw.points):
+            sessions.extend(gateway.push_point(
+                0, point,
+                start_time_s=raw.start_time_s if position == 0 else None))
+            # Same timestamp, slightly different fix: still a duplicate.
+            sessions.extend(gateway.push_point(
+                0, GPSPoint(point.x + 1.0, point.y - 1.0, point.t)))
+        sessions.extend(gateway.end(0))
+        stats = gateway.stats()
+    assert stats.duplicates_dropped == len(raw.points)
+    assert [r.labels for r in reference[0]] == \
+        [s.result.labels for s in sessions]
+
+
+# --------------------------------------------------------------- sessions
+def test_all_points_unmatchable_drops_the_session(trained_model, dataset,
+                                                  dataset_split,
+                                                  offline_matcher):
+    _, _, test = dataset_split
+    raw = clean_raws(dataset, [test[1]], seed=24)[0]
+    nowhere = RawTrajectory(
+        raw.trajectory_id,
+        [GPSPoint(p.x + 1e7, p.y + 1e7, p.t) for p in raw.points],
+        start_time_s=raw.start_time_s)
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher,
+                             GatewayConfig(reorder_window=2))
+        outputs = serve_raw_fleet(gateway, [nowhere], concurrency=1)
+        stats = gateway.stats()
+        assert service.active_vehicles == []  # no stream was ever opened
+    assert outputs == [[]]
+    assert stats.unmatched_dropped == len(nowhere.points)
+    assert stats.sessions_dropped == 1
+    assert stats.sessions_closed == 0
+    assert stats.segments_emitted == 0
+
+
+def test_time_gap_splits_a_trip_into_sessions(trained_model, dataset,
+                                              dataset_split,
+                                              offline_matcher):
+    """A long silence splits one vehicle's stream into two SD-pair sessions,
+    each labeled like the offline pipeline on its own half."""
+    _, _, test = dataset_split
+    first, second = test[2], test[3]
+    raw_first = clean_raws(dataset, [first], seed=25)[0]
+    gap_s = 900.0
+    shift = raw_first.points[-1].t + gap_s + 60.0
+    raw_second_base = clean_raws(dataset, [second], seed=26)[0]
+    raw_second = RawTrajectory(
+        second.trajectory_id,
+        [GPSPoint(p.x, p.y, p.t + shift) for p in raw_second_base.points],
+        start_time_s=raw_first.start_time_s + shift)
+    stitched = RawTrajectory(
+        first.trajectory_id,
+        list(raw_first.points) + list(raw_second.points),
+        start_time_s=raw_first.start_time_s)
+
+    reference = offline_reference(
+        trained_model, offline_matcher,
+        [raw_first,
+         RawTrajectory(second.trajectory_id, raw_second_base.points,
+                       start_time_s=raw_second.start_time_s)],
+        num_shards=2)
+
+    config = GatewayConfig(reorder_window=2, session_gap_s=300.0,
+                           ingest_batch=8)
+    outputs, stats = run_gateway(trained_model, offline_matcher, [stitched],
+                                 config=config, num_shards=2)
+    assert stats.gap_splits == 1
+    assert stats.sessions_closed == 2
+    assert len(outputs[0]) == 2
+    for expected, got in zip(reference, outputs[0]):
+        assert got.labels == expected.labels
+        assert got.trajectory.segments == expected.trajectory.segments
+
+
+# ------------------------------------------------------------- error paths
+def test_gateway_validates_inputs(trained_model, dataset, offline_matcher):
+    with trained_model.detection_service(num_shards=1) as service:
+        with pytest.raises(GatewayError):
+            GpsGateway(service, dataset.network)  # not a matcher
+        gateway = GpsGateway(service, offline_matcher)
+        with pytest.raises(GatewayError):
+            gateway.end("ghost")
+        with pytest.raises(GatewayError):
+            serve_raw_fleet(gateway, [], concurrency=0)
+        # An OnlineMapMatcher is accepted as-is (window preconfigured).
+        online = OnlineMapMatcher(offline_matcher, max_pending=16)
+        assert GpsGateway(service, online).matcher is online
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(reorder_window=-1).validate()
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(session_gap_s=0.0).validate()
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(max_pending_points=1).validate()
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(ingest_batch=0).validate()
+
+
+def test_gateway_latency_report(trained_model, dataset, dataset_split,
+                                offline_matcher):
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:3], seed=27)
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher)
+        serve_raw_fleet(gateway, raws, concurrency=3)
+        report = gateway.commit_latency()
+    assert report.count == sum(len(raw.points) for raw in raws)
+    assert report.maximum >= report.p95 >= report.p50 >= 0
+    assert "commit lag" in report.format()
+
+
+# -------------------------------------------------- service batched ingest
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+def test_service_ingest_many_matches_per_point(trained_model, dataset_split,
+                                               backend):
+    """DetectionService.ingest_many (one batched command per shard) labels
+    exactly like per-point ingest, including streams opened mid-batch."""
+    from repro.serve.backends import IngestEvent
+
+    _, _, test = dataset_split
+    fleet = test[:6]
+    detector = trained_model.detector()
+    events = []
+    for vehicle, trajectory in enumerate(fleet):
+        for position, segment in enumerate(trajectory.segments):
+            if position == 0:
+                events.append(IngestEvent(vehicle, segment,
+                                          trajectory.destination,
+                                          trajectory.start_time_s,
+                                          trajectory.trajectory_id))
+            else:
+                events.append(IngestEvent(vehicle, segment, None, 0.0, None))
+    with trained_model.detection_service(
+            num_shards=2, backend=backend) as service:
+        service.ingest_many(events)
+        results = service.finalize_many(list(range(len(fleet))))
+        metrics = service.metrics()
+    assert metrics.batched_ingests >= 1
+    assert metrics.accepted_ingests == len(events)
+    for trajectory, result in zip(fleet, results):
+        assert result.labels == detector.detect(trajectory).labels
+
+
+def test_service_ingest_many_rides_out_backpressure(trained_model,
+                                                    dataset_split):
+    """Tiny queue depth: batched ingest retries (counted as rejections) but
+    delivers everything in order."""
+    from repro.serve.backends import IngestEvent
+
+    _, _, test = dataset_split
+    trajectory = max(test, key=len)
+    detector = trained_model.detector()
+    with trained_model.detection_service(
+            num_shards=1, backend="inprocess", queue_depth=2) as service:
+        retries = 0
+        for position, segment in enumerate(trajectory.segments):
+            if position == 0:
+                event = IngestEvent("cab", segment, trajectory.destination,
+                                    trajectory.start_time_s, None)
+            else:
+                event = IngestEvent("cab", segment, None, 0.0, None)
+            retries += service.ingest_many([event])
+        result = service.finalize("cab")
+        metrics = service.metrics()
+    assert retries > 0
+    assert metrics.rejected_ingests == retries
+    assert result.labels == detector.detect(trajectory).labels
+
+
+def test_service_ingest_many_validates_segments(trained_model, dataset_split):
+    from repro.exceptions import LabelingError
+    from repro.serve.backends import IngestEvent
+
+    _, _, test = dataset_split
+    with trained_model.detection_service(num_shards=1) as service:
+        with pytest.raises(LabelingError):
+            service.ingest_many([IngestEvent("cab", 10 ** 9, None, 0.0, None)])
+        assert service.ingest_many([]) == 0
+        assert service.active_vehicles == []
+        service.close()
+        with pytest.raises(ServiceError):
+            service.ingest_many(
+                [IngestEvent("cab", test[0].segments[0], None, 0.0, None)])

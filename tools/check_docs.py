@@ -46,10 +46,17 @@ PUBLIC_SURFACE = {
     ],
     "repro.serve.checkpoint": ["CHECKPOINT_VERSION", "save_model", "load_model"],
     "repro.serve.backends": ["InProcessBackend", "ProcessBackend", "IngestEvent"],
+    "repro.serve.metrics": ["GatewayStats", "ServiceMetrics", "ShardStats"],
+    "repro.ingest": ["GpsGateway", "SessionResult", "serve_raw_fleet"],
+    "repro.mapmatching": [
+        "HMMMapMatcher", "OnlineMapMatcher", "OnlineMatchResult",
+        "SegmentPairDistanceCache",
+    ],
+    "repro.trajectory": ["interleave_raw_streams", "RawTrajectory", "GPSPoint"],
     "repro.eval": [
         "evaluate_labelings", "evaluate_detector", "measure_detector",
         "measure_throughput", "measure_training_throughput",
-        "ThroughputReport", "TrainingThroughputReport",
+        "ThroughputReport", "TrainingThroughputReport", "LatencyReport",
     ],
     "repro.nn": [
         "LSTM", "LSTMCell", "sequence_cross_entropy_from_logits",
