@@ -1,0 +1,225 @@
+"""History hot-refresh: ``swap_history`` vs rebuilding the whole service.
+
+The tentpole's economics, measured. A serving fleet whose normal-route
+history goes stale used to require tearing the service down and rebuilding
+it from a model carrying the new history (re-pickling and re-spawning every
+shard, losing every in-flight stream). ``DetectionService.swap_history``
+replaces that with one atomic broadcast of a versioned snapshot. This
+benchmark:
+
+* builds a drifted history (new trajectories appended through the
+  copy-on-write :class:`~repro.history.RouteHistoryStore`),
+* measures the **refresh latency** of ``swap_history`` against the **rebuild
+  latency** of constructing a fresh service from the refreshed model —
+  in-process and multi-process backends alike,
+* measures the **copy-on-write win**: `store.extend` of a small delta vs
+  re-indexing the full history from scratch,
+* and pins the differential contract the whole feature rests on: after the
+  swap, the service's labels on a post-refresh workload are identical to the
+  freshly-built service's (0 mismatches), while streams that were in flight
+  across the refresh match the pre-refresh build.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_history_refresh.py
+    PYTHONPATH=src python benchmarks/bench_history_refresh.py --smoke
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_history_refresh.py -s
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.history import RouteHistoryStore
+from repro.experiments.common import prepare_city, train_rl4oasd
+from repro.serve import serve_fleet
+
+from conftest import bench_settings, record_result
+
+CONCURRENCY = 64
+WORKLOAD_TRIPS = 96
+SHARD_COUNTS = (1, 2, 4)
+#: The refresh must beat a full rebuild by at least this factor (the whole
+#: point of the feature); tunable for noisy shared runners.
+MIN_REFRESH_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MIN_REFRESH_SPEEDUP", "1.0"))
+
+
+def _drive(service, fleet, prefix, declare):
+    ids = []
+    for index, trajectory in enumerate(fleet):
+        vehicle = (prefix, index)
+        ids.append(vehicle)
+        for position, segment in enumerate(trajectory.segments):
+            if position == 0:
+                service.ingest_blocking(
+                    vehicle, segment,
+                    destination=trajectory.destination if declare else None,
+                    start_time_s=trajectory.start_time_s)
+            else:
+                service.ingest_blocking(vehicle, segment)
+    return ids
+
+
+def _measure_refresh(model, refreshed, in_flight, after, *, num_shards,
+                     backend):
+    """One refresh cycle: returns (swap_s, rebuild_s, mismatches)."""
+    fresh_model = model.with_history(refreshed)
+
+    # References: the pre-refresh build for the in-flight streams, a fresh
+    # build from the refreshed snapshot for the post-refresh streams.
+    with model.detection_service(num_shards=num_shards,
+                                 backend="inprocess") as reference:
+        ids = _drive(reference, in_flight, "a", declare=False)
+        expected_in_flight = reference.finalize_many(ids)
+    with fresh_model.detection_service(num_shards=num_shards,
+                                       backend="inprocess") as reference:
+        ids = _drive(reference, after, "b", declare=True)
+        expected_after = reference.finalize_many(ids)
+
+    with model.detection_service(num_shards=num_shards,
+                                 backend=backend) as service:
+        in_flight_ids = _drive(service, in_flight, "a", declare=False)
+        started = time.perf_counter()
+        service.swap_history(refreshed)
+        swap_s = time.perf_counter() - started
+        after_ids = _drive(service, after, "b", declare=True)
+        results_after = service.finalize_many(after_ids)
+        results_in_flight = service.finalize_many(in_flight_ids)
+
+    mismatches = sum(
+        1 for expected, got in zip(expected_in_flight, results_in_flight)
+        if expected.labels != got.labels)
+    mismatches += sum(
+        1 for expected, got in zip(expected_after, results_after)
+        if expected.labels != got.labels)
+
+    # The alternative this feature retires: rebuild the service wholesale
+    # from the refreshed model (spawn + snapshot shipping), then prove it
+    # can serve one stream.
+    started = time.perf_counter()
+    with fresh_model.detection_service(num_shards=num_shards,
+                                       backend=backend) as rebuilt:
+        _drive(rebuilt, after[:1], "probe", declare=True)
+        rebuilt.finalize(("probe", 0))
+    rebuild_s = time.perf_counter() - started
+    return swap_s, rebuild_s, mismatches
+
+
+def run_bench(smoke: bool = False):
+    if smoke:
+        settings = bench_settings(scale=0.15, joint_trajectories=30,
+                                  joint_epochs=1, pretrain_epochs=2)
+        shard_counts, trips = (1,), 24
+        backends = ("inprocess",)
+    else:
+        settings = bench_settings(joint_trajectories=100)
+        shard_counts, trips = SHARD_COUNTS, WORKLOAD_TRIPS
+        backends = ("inprocess", "process")
+    split = prepare_city("chengdu", settings)
+    model, _ = train_rl4oasd(split, settings)
+    workload = [split.test[i % len(split.test)] for i in range(trips)]
+    in_flight, after = workload[: trips // 2], workload[trips // 2:]
+
+    # The drifted history: the dev split arrives as "today's" trajectories.
+    delta = list(split.development)
+    refreshed = model.pipeline.history.extended(
+        delta, version=model.pipeline.history.version + 1)
+
+    # Copy-on-write extend vs re-indexing everything from scratch.
+    store = RouteHistoryStore.from_snapshot(model.pipeline.history)
+    started = time.perf_counter()
+    store.extend(delta)
+    extend_s = time.perf_counter() - started
+    started = time.perf_counter()
+    RouteHistoryStore(list(model.pipeline.history.trajectories()) + delta,
+                      model.pipeline.history.slots_per_day)
+    reindex_s = time.perf_counter() - started
+
+    rows = []
+    mismatches = 0
+    speedups = {}
+    for backend in backends:
+        for num_shards in shard_counts:
+            swap_s, rebuild_s, missed = _measure_refresh(
+                model, refreshed, in_flight, after,
+                num_shards=num_shards, backend=backend)
+            mismatches += missed
+            speedup = rebuild_s / swap_s if swap_s else float("inf")
+            speedups[(backend, num_shards)] = speedup
+            rows.append(
+                f"  {backend:9s} x{num_shards}: swap_history "
+                f"{swap_s * 1e3:8.1f} ms   rebuild {rebuild_s * 1e3:8.1f} ms"
+                f"   ({speedup:5.1f}x faster, {missed} mismatches)")
+
+    cores = os.cpu_count() or 1
+    text_lines = [
+        "History hot-refresh vs service rebuild"
+        + (" (smoke)" if smoke else ""),
+        f"  workload: {len(workload)} trips "
+        f"({len(in_flight)} in flight across the refresh), "
+        f"history {len(model.pipeline.history)} -> {len(refreshed)} "
+        f"trajectories (v{refreshed.version}), {cores} core(s)",
+        f"  copy-on-write extend: {extend_s * 1e3:.1f} ms   "
+        f"full re-index: {reindex_s * 1e3:.1f} ms   "
+        f"({reindex_s / extend_s if extend_s else float('inf'):.1f}x)",
+    ]
+    text_lines.extend(rows)
+    text_lines.append(f"  label mismatches vs fresh build: {mismatches}")
+    return {
+        "text": "\n".join(text_lines),
+        "mismatches": mismatches,
+        "speedups": speedups,
+        "extend_s": extend_s,
+        "reindex_s": reindex_s,
+        "cores": cores,
+        "smoke": smoke,
+    }
+
+
+@pytest.fixture(scope="module")
+def history_refresh():
+    result = run_bench()
+    record_result("history_refresh", result["text"])
+    return result
+
+
+def test_refresh_is_label_identical_to_fresh_build(history_refresh):
+    assert history_refresh["mismatches"] == 0
+
+
+def test_refresh_beats_service_rebuild(history_refresh):
+    best = max(history_refresh["speedups"].values())
+    assert best >= MIN_REFRESH_SPEEDUP, history_refresh["text"]
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    result = run_bench(smoke=smoke)
+    print(result["text"])
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "history_refresh.txt").write_text(
+        result["text"] + "\n", encoding="utf-8")
+    if result["mismatches"]:
+        raise SystemExit(
+            "label mismatch between the refreshed and freshly-built service")
+    if smoke:
+        return
+    best = max(result["speedups"].values())
+    if best < MIN_REFRESH_SPEEDUP:
+        raise SystemExit(
+            f"best refresh speedup {best:.2f}x below the "
+            f"{MIN_REFRESH_SPEEDUP:.2f}x floor")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,8 @@ The package is organised bottom-up:
 * :mod:`repro.datagen` — synthetic taxi-trajectory datasets with ground truth
 * :mod:`repro.nn` — numpy neural-network substrate (LSTM, GRU, REINFORCE pieces)
 * :mod:`repro.embeddings` — road-segment representation learning (Toast substitute)
+* :mod:`repro.history` — versioned, hot-swappable normal-route history
+  (immutable snapshots, copy-on-write refresh)
 * :mod:`repro.labeling` — noisy labels and normal-route features
 * :mod:`repro.core` — RSRNet, ASDNet, the RL4OASD trainer and the online detector
 * :mod:`repro.serve` — the serving layer: sharded multi-worker detection

@@ -280,10 +280,20 @@ class GatewayConfig:
     successors, emission is forced. ``ingest_batch`` groups matched segments
     into per-shard batched service puts (1 keeps the per-point path);
     ``max_retries`` / ``retry_wait_s`` configure the backpressure retry loop.
+
+    ``session_timeout_s`` is the wall-clock idle bound consulted by
+    :meth:`GpsGateway.advance_clock`: a vehicle whose newest known fix is
+    older than this is closed without waiting for a later fix or an explicit
+    ``end`` (0 reuses ``session_gap_s``). ``max_vehicles`` bounds the
+    per-vehicle state the gateway (and through it the online matcher) keeps:
+    when a new vehicle would exceed the bound, the least recently active
+    vehicle is closed and evicted (0 means unbounded).
     """
 
     reorder_window: int = 8
     session_gap_s: float = 300.0
+    session_timeout_s: float = 0.0
+    max_vehicles: int = 0
     max_pending_points: int = 64
     ingest_batch: int = 32
     max_retries: int = 10000
@@ -292,6 +302,10 @@ class GatewayConfig:
     def validate(self) -> "GatewayConfig":
         _require(self.reorder_window >= 0, "reorder_window must be >= 0")
         _require(self.session_gap_s > 0, "session_gap_s must be positive")
+        _require(self.session_timeout_s >= 0,
+                 "session_timeout_s must be >= 0 (0 reuses session_gap_s)")
+        _require(self.max_vehicles >= 0,
+                 "max_vehicles must be >= 0 (0 means unbounded)")
         _require(self.max_pending_points >= 2,
                  "max_pending_points must be >= 2")
         _require(self.ingest_batch >= 1, "ingest_batch must be >= 1")

@@ -78,13 +78,15 @@ class OnlineLearner:
         return self._model
 
     def attach_service(self, service: "DetectionService") -> "DetectionService":
-        """Keep a detection service's weights current with this learner.
+        """Keep a detection service current with this learner.
 
         After every :meth:`observe_part` fine-tuning round the learner
-        hot-swaps its refreshed weights into the attached service
-        (:meth:`~repro.serve.service.DetectionService.swap_model`) — every
-        shard switches atomically, in-flight streams keep running. Returns
-        the service, so ``learner.attach_service(model.detection_service())``
+        pushes *one atomic control-plane update* into the attached service
+        (:meth:`~repro.serve.service.DetectionService.swap`): the fine-tuned
+        weights together with the extended normal-route history snapshot —
+        every shard switches both atomically, in-flight streams keep
+        running (each pinned to the history it opened with). Returns the
+        service, so ``learner.attach_service(model.detection_service())``
         reads naturally. Attach any number of services; detach by
         :meth:`detach_service`.
         """
@@ -123,12 +125,16 @@ class OnlineLearner:
         return record
 
     def _push_to_services(self) -> None:
-        """Hot-swap the current weights into every attached service.
+        """Push weights *and* history into every attached service, atomically.
 
-        Closed services are dropped silently (their streams are gone anyway)
-        and a failing swap on one service never blocks the push to the
-        others — the first failure is re-raised once every reachable service
-        has been updated.
+        Fine-tuning moves two things: the network weights and the extended
+        per-SD-pair history (``fine_tune`` minted a new snapshot version).
+        Both ride one :meth:`DetectionService.swap`, so no shard can ever
+        serve new weights against stale normal routes or vice versa. Closed
+        services are dropped silently (their streams are gone anyway) and a
+        failing swap on one service never blocks the push to the others —
+        the first failure is re-raised once every reachable service has
+        been updated.
         """
         first_error: Optional[BaseException] = None
         for service in list(self._services):
@@ -136,7 +142,8 @@ class OnlineLearner:
                 self._services.remove(service)
                 continue
             try:
-                service.swap_model(self._model)
+                service.swap(weights=self._model,
+                             history=self._model.pipeline.history)
             except Exception as error:
                 if first_error is None:
                     first_error = error

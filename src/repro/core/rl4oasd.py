@@ -148,6 +148,24 @@ class RL4OASDModel:
             seed=seed,
         )
 
+    def with_history(self, history) -> "RL4OASDModel":
+        """This model viewing a different history snapshot (cheap).
+
+        Shares both networks, the training config and the report; only the
+        preprocessing pipeline is replaced by a sibling view pinned to
+        ``history`` (a :class:`~repro.history.HistorySnapshot` or a
+        :class:`~repro.history.RouteHistoryStore`). This is how "a service
+        freshly built from snapshot S" is expressed — the differential
+        anchor for :meth:`DetectionService.swap_history`.
+        """
+        return RL4OASDModel(
+            rsrnet=self.rsrnet,
+            asdnet=self.asdnet,
+            pipeline=self.pipeline.with_history(history),
+            training_config=self.training_config,
+            report=self.report,
+        )
+
     def stream_engine(self, **overrides) -> "StreamEngine":
         """A fleet-scale batched stream engine using this model.
 
@@ -693,9 +711,14 @@ class RL4OASDTrainer:
                   epochs: int = 1, batch_size: Optional[int] = None) -> None:
         """Continue training on newly recorded trajectories (concept drift).
 
-        The new trajectories extend the historical index (so the normal-route
-        statistics shift with the new traffic), and both networks take
-        additional gradient steps on them. An explicit ``batch_size``
+        The new trajectories extend the historical index — the pipeline's
+        :class:`~repro.history.RouteHistoryStore` mints a new snapshot
+        version, copy-on-write, so the normal-route statistics shift with
+        the new traffic — and both networks take additional gradient steps
+        on them. Publish the refreshed history to running services via
+        :meth:`DetectionService.swap_history` (or attach the service to an
+        :class:`~repro.core.online.OnlineLearner`, which pushes weights and
+        history together after every fine-tuning round). An explicit ``batch_size``
         overrides the training configuration for this call only — including
         its ``batched`` engine choice (a value above 1 always runs the
         batched engine, 1 always runs the sequential loop). This is the knob

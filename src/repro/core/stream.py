@@ -51,6 +51,7 @@ from typing import (Callable, Dict, Hashable, List, NamedTuple, Optional,
 import numpy as np
 
 from ..exceptions import ModelError
+from ..history import HistorySnapshot
 from ..labeling.features import PreprocessingPipeline
 from ..labeling.normal_routes import normal_transitions
 from ..nn.losses import softmax
@@ -123,6 +124,7 @@ class _StreamState:
     start_time_s: float
     destination: Optional[int]
     slot: int
+    history: Optional[HistorySnapshot] = None
     segments: List[int] = field(default_factory=list)
     labels: List[int] = field(default_factory=list)
     processed: int = 0
@@ -187,6 +189,7 @@ class StreamEngine:
         self.points_processed = 0
         self.ticks = 0
         self.streams_finalized = 0
+        self.history_refreshes = 0
 
     @classmethod
     def from_model(cls, model: "RL4OASDModel", **overrides) -> "StreamEngine":
@@ -207,6 +210,11 @@ class StreamEngine:
     @property
     def cache(self) -> SegmentFeatureCache:
         return self._cache
+
+    @property
+    def history_version(self) -> int:
+        """Version of the snapshot newly opened streams resolve against."""
+        return self._pipeline.history.version
 
     def pending_points(self, vehicle_id: Hashable) -> int:
         """Points ingested but not yet labeled for one stream."""
@@ -239,6 +247,27 @@ class StreamEngine:
         self._rsrnet.load_state_dict(rsrnet_state)
         self._asdnet.load_state_dict(asdnet_state)
         self._cache.clear()
+
+    def load_history(self, snapshot: HistorySnapshot) -> None:
+        """Hot-refresh the normal-route history under active streams.
+
+        The history counterpart of :meth:`load_weights`, with the same
+        quiesce discipline expected of callers: streams opened after this
+        call resolve their normal routes (and, when deferred, their whole
+        finalize-time labeling) against ``snapshot``; streams already in
+        flight keep the snapshot they pinned when they opened, so their
+        labels are exactly what the pre-refresh engine would have produced.
+        The normal-route and statistics caches travel with the snapshot
+        (keyed by history version by construction), so nothing stale
+        survives; the segment-feature LRU is *not* cleared — its records
+        (token, input projection, degrees) depend only on weights and road
+        network, never on history.
+        """
+        if not isinstance(snapshot, HistorySnapshot):
+            raise ModelError(
+                f"expected a HistorySnapshot, got {type(snapshot).__name__}")
+        self._pipeline.load_history(snapshot)
+        self.history_refreshes += 1
 
     # -------------------------------------------------------------- ingestion
     def ingest(
@@ -290,6 +319,10 @@ class StreamEngine:
             start_time_s=start_time_s,
             destination=destination,
             slot=self._allocate_slot(),
+            # Pin the history at open: a hot refresh (load_history) must not
+            # change this trip's labels mid-stream, so every later resolution
+            # for this stream goes against the pinned snapshot.
+            history=self._pipeline.history,
         )
         if not self._greedy:
             stream.rng = np.random.default_rng(self._seed)
@@ -297,15 +330,18 @@ class StreamEngine:
             stream.deferred = True
         else:
             group = self._pipeline.sd_group(first_segment, destination,
-                                            start_time_s)
+                                            start_time_s,
+                                            history=stream.history)
             if group:
-                # Resolving through the pipeline keeps its normal-route cache
-                # in exactly the state a reference detection would leave it.
+                # Resolving through the pipeline keeps the snapshot's
+                # normal-route cache in exactly the state a reference
+                # detection would leave it.
                 probe_segments = ([first_segment] if first_segment == destination
                                   else [first_segment, destination])
                 probe = MatchedTrajectory(trajectory_id, probe_segments,
                                           start_time_s=start_time_s)
-                routes = self._pipeline.normal_routes_for(probe)
+                routes = self._pipeline.normal_routes_for(
+                    probe, history=stream.history)
                 stream.normal_transitions = normal_transitions(routes)
             else:
                 # No history for this SD pair: the reference falls back to
@@ -503,7 +539,8 @@ class StreamEngine:
             trajectory = MatchedTrajectory(
                 stream.trajectory_id, list(stream.segments),
                 start_time_s=stream.start_time_s)
-            routes = self._pipeline.normal_routes_for(trajectory)
+            routes = self._pipeline.normal_routes_for(
+                trajectory, history=stream.history)
             stream.normal_transitions = normal_transitions(routes)
 
     def _complete(self, stream: _StreamState) -> DetectionResult:

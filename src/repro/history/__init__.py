@@ -1,0 +1,31 @@
+"""Versioned normal-route history with atomic fleet-wide hot-refresh.
+
+The history subsystem is the single source of truth for the per-SD-pair
+trajectory history every RL4OASD label is anchored in:
+
+* :class:`HistorySnapshot` — an immutable, monotonically-versioned view
+  (copy-on-write SD-pair maps with structural sharing, memoized derived
+  statistics/normal-route caches).
+* :class:`RouteHistoryStore` — mints snapshots: ``extend`` appends new
+  trajectories copy-on-write, ``rebuild`` replaces the window wholesale.
+* :func:`snapshot_to_bytes` / :func:`snapshot_from_bytes` /
+  :func:`clone_snapshot` — the serialization the serving layer's
+  ``swap_history`` broadcast rides on.
+
+Readers (:class:`~repro.labeling.features.PreprocessingPipeline`,
+:class:`~repro.core.stream.StreamEngine`,
+:class:`~repro.serve.service.DetectionService`) pin a snapshot and refresh
+to a newer one atomically — in-flight streams keep the version they opened
+with until they finalize, so labels stay deterministic mid-stream.
+"""
+
+from .store import (HistorySnapshot, RouteHistoryStore, clone_snapshot,
+                    snapshot_from_bytes, snapshot_to_bytes)
+
+__all__ = [
+    "HistorySnapshot",
+    "RouteHistoryStore",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "clone_snapshot",
+]

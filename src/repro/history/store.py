@@ -1,0 +1,373 @@
+"""Versioned, immutable storage of the normal-route history.
+
+RL4OASD's labels are anchored in per-SD-pair *history*: the set of past
+trajectories of each (source, destination, time-slot) group, from which the
+transition statistics and normal routes are derived. The paper's online
+setting assumes that history evolves as new trajectories arrive — this
+module makes that evolution a first-class, hot-swappable artifact instead of
+frozen state buried inside a preprocessing pipeline:
+
+* :class:`HistorySnapshot` — one immutable, versioned view of the history.
+  A snapshot exposes the same read API as
+  :class:`~repro.trajectory.sdpairs.SDPairIndex` (``group`` / ``group_for``
+  / ``groups`` / ``pair_sizes`` / ``__len__``) plus memoized derived-value
+  caches (transition statistics, normal routes) that are pure functions of
+  the snapshot and therefore safe to share between every reader pinned to
+  the same version. Serializing a snapshot strips those caches — a receiver
+  recomputes identical values lazily.
+* :class:`RouteHistoryStore` — the producer side: holds the *current*
+  snapshot and mints new ones with monotonically increasing versions.
+  :meth:`RouteHistoryStore.extend` is copy-on-write with structural
+  sharing: only the SD pairs touched by the new trajectories are
+  reallocated (and only their cached derived values dropped); every other
+  group tuple — and its memoized statistics — is carried into the new
+  snapshot by reference. :meth:`RouteHistoryStore.rebuild` replaces the
+  history wholesale (still minting a fresh version), for daily roll-forward
+  jobs that recompute the window from scratch.
+
+Readers *pin* a snapshot by simply holding a reference: snapshots are never
+mutated after construction (the memo caches only ever gain entries, and
+only values that are pure functions of the snapshot), so a detector or
+stream engine that resolved features against version N keeps producing
+version-N labels no matter how many refreshes the store mints afterwards.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import (Callable, Dict, FrozenSet, Hashable, Iterable, Iterator,
+                    List, Mapping, Optional, Sequence, Tuple)
+
+from ..exceptions import LabelingError
+from ..trajectory.models import MatchedTrajectory, SDPair
+from ..trajectory.sdpairs import time_slot_of
+
+
+def _group_trajectories(
+    trajectories: Iterable[MatchedTrajectory], slots_per_day: int
+) -> Dict[SDPair, Tuple[MatchedTrajectory, ...]]:
+    """Group trajectories into immutable per-(S, D, slot) tuples."""
+    groups: Dict[SDPair, List[MatchedTrajectory]] = {}
+    for trajectory in trajectories:
+        key = SDPair(
+            source=trajectory.source,
+            destination=trajectory.destination,
+            time_slot=time_slot_of(trajectory.start_time_s, slots_per_day),
+        )
+        groups.setdefault(key, []).append(trajectory)
+    return {key: tuple(group) for key, group in groups.items()}
+
+
+class HistorySnapshot:
+    """One immutable, versioned view of the per-SD-pair route history.
+
+    Construction is cheap for the structural-sharing path
+    (:meth:`extended`): group tuples are carried by reference and the
+    by-pair index is the only thing rebuilt. The memoized derived-value
+    caches are *not* part of the snapshot's identity — they hold pure
+    functions of the snapshot's data (plus the caller's config values baked
+    into the cache key) and are dropped on serialization.
+    """
+
+    def __init__(
+        self,
+        groups: Dict[SDPair, Tuple[MatchedTrajectory, ...]],
+        slots_per_day: int,
+        version: int,
+    ):
+        if slots_per_day < 1:
+            raise LabelingError("slots_per_day must be at least 1")
+        if version < 1:
+            raise LabelingError("a history snapshot's version must be >= 1")
+        self._groups = groups
+        self._slots_per_day = slots_per_day
+        self._version = version
+        self._rebuild_indexes()
+
+    @classmethod
+    def build(
+        cls,
+        trajectories: Iterable[MatchedTrajectory],
+        slots_per_day: int = 24,
+        version: int = 1,
+    ) -> "HistorySnapshot":
+        """A fresh snapshot indexing ``trajectories`` from scratch."""
+        return cls(_group_trajectories(trajectories, slots_per_day),
+                   slots_per_day, version)
+
+    def _rebuild_indexes(self) -> None:
+        by_pair: Dict[Tuple[int, int], List[MatchedTrajectory]] = {}
+        for key, group in self._groups.items():
+            by_pair.setdefault((key.source, key.destination),
+                               []).extend(group)
+        self._by_pair = {pair: tuple(group) for pair, group in by_pair.items()}
+        # Memoized derived values; see cached_statistics / cached_routes.
+        # The fallback caches hold values derived from *query* trajectories
+        # (SD pairs with no history at all) rather than from the snapshot's
+        # own data — they are memoized for within-version determinism but
+        # never carried into a refreshed snapshot (see ``extended``).
+        self._statistics_cache: Dict[Hashable, object] = {}
+        self._routes_cache: Dict[Hashable, object] = {}
+        self._fallback_statistics: Dict[Hashable, object] = {}
+        self._fallback_routes: Dict[Hashable, object] = {}
+        self._segments: Optional[FrozenSet[int]] = None
+
+    # --------------------------------------------------------------- identity
+    @property
+    def version(self) -> int:
+        """Monotonically increasing within one :class:`RouteHistoryStore`."""
+        return self._version
+
+    @property
+    def slots_per_day(self) -> int:
+        return self._slots_per_day
+
+    # -------------------------------------------------------------- read API
+    def groups(self) -> Mapping[SDPair, Tuple[MatchedTrajectory, ...]]:
+        return self._groups
+
+    def group(self, source: int, destination: int,
+              time_slot: Optional[int] = None) -> List[MatchedTrajectory]:
+        """Trajectories of an SD pair, optionally restricted to one slot."""
+        if time_slot is None:
+            return list(self._by_pair.get((source, destination), ()))
+        key = SDPair(source=source, destination=destination,
+                     time_slot=time_slot)
+        return list(self._groups.get(key, ()))
+
+    def group_for(self, trajectory: MatchedTrajectory) -> List[MatchedTrajectory]:
+        """The historical group a trajectory belongs to.
+
+        Mirrors :meth:`SDPairIndex.group_for` exactly (fall back to all time
+        slots only when the trajectory's own slot has no history), so
+        baselines that consulted the index keep their behaviour.
+        """
+        slot = time_slot_of(trajectory.start_time_s, self._slots_per_day)
+        group = self.group(trajectory.source, trajectory.destination, slot)
+        if group:
+            return group
+        return self.group(trajectory.source, trajectory.destination)
+
+    def sd_pairs(self) -> List[Tuple[int, int]]:
+        """All distinct (source, destination) pairs, ignoring time slots."""
+        return sorted(self._by_pair)
+
+    def pair_sizes(self) -> Dict[Tuple[int, int], int]:
+        return {pair: len(group) for pair, group in self._by_pair.items()}
+
+    def trajectories(self) -> Iterator[MatchedTrajectory]:
+        """Every historical trajectory (group iteration order)."""
+        for group in self._groups.values():
+            yield from group
+
+    def __len__(self) -> int:
+        return sum(len(group) for group in self._by_pair.values())
+
+    def segment_universe(self) -> FrozenSet[int]:
+        """Every road segment any historical trajectory travels (lazy)."""
+        if self._segments is None:
+            self._segments = frozenset(
+                segment
+                for group in self._groups.values()
+                for trajectory in group
+                for segment in trajectory.segments)
+        return self._segments
+
+    # ------------------------------------------------------- derived caching
+    def cached_statistics(self, key: Hashable, compute: Callable[[], object],
+                          fallback: bool = False):
+        """Memoize one derived transition-statistics value.
+
+        ``key`` must start with ``(source, destination, ...)`` — the
+        copy-on-write refresh drops exactly the entries whose leading pair
+        was touched. Values must be pure functions of the snapshot (plus
+        whatever config values the caller bakes into the key), so sharing
+        the memo between every reader of this snapshot is safe. Values that
+        are *not* pure — the no-history fallback, derived from the query
+        trajectory itself — go in with ``fallback=True``: still memoized
+        (within one version, the first query defines the group, exactly as
+        before), but dropped by every refresh instead of carried forward.
+        """
+        cache = self._fallback_statistics if fallback else self._statistics_cache
+        value = cache.get(key)
+        if value is None:
+            value = compute()
+            cache[key] = value
+        return value
+
+    def cached_routes(self, key: Hashable, compute: Callable[[], object],
+                      fallback: bool = False):
+        """Memoize one derived normal-routes value (same contract as above)."""
+        cache = self._fallback_routes if fallback else self._routes_cache
+        value = cache.get(key)
+        if value is None:
+            value = compute()
+            cache[key] = value
+        return value
+
+    # -------------------------------------------------------------- refresh
+    def extended(self, new_trajectories: Sequence[MatchedTrajectory],
+                 version: int) -> "HistorySnapshot":
+        """A new snapshot with ``new_trajectories`` appended, copy-on-write.
+
+        Only the SD pairs the new trajectories touch are reallocated; every
+        other group tuple is shared by reference with this snapshot, and the
+        memoized derived values of untouched pairs are carried forward (a
+        refresh that adds one pair's trajectories re-derives one pair's
+        statistics, not the whole city's). *All* slots of a touched pair are
+        invalidated, because the sparse-slot fallback makes a slot's derived
+        values depend on the pair's full cross-slot history. Query-derived
+        fallback entries (no-history pairs) are never carried — a refresh
+        resets them wholesale, as the pre-refresh cache clearing always did.
+        """
+        additions = _group_trajectories(new_trajectories, self._slots_per_day)
+        groups = dict(self._groups)
+        for key, group in additions.items():
+            groups[key] = groups.get(key, ()) + group
+        snapshot = HistorySnapshot(groups, self._slots_per_day, version)
+        touched = {(key.source, key.destination) for key in additions}
+        snapshot._statistics_cache = {
+            key: value for key, value in self._statistics_cache.items()
+            if (key[0], key[1]) not in touched}
+        snapshot._routes_cache = {
+            key: value for key, value in self._routes_cache.items()
+            if (key[0], key[1]) not in touched}
+        return snapshot
+
+    # -------------------------------------------------------- serialization
+    def __getstate__(self) -> dict:
+        # The memo caches are recomputable (and may hold query-derived
+        # fallback entries a receiver should build from its own queries), so
+        # a serialized snapshot is just the versioned group data.
+        return {
+            "version": self._version,
+            "slots_per_day": self._slots_per_day,
+            "groups": self._groups,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._version = state["version"]
+        self._slots_per_day = state["slots_per_day"]
+        self._groups = state["groups"]
+        self._rebuild_indexes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HistorySnapshot(version={self._version}, "
+                f"pairs={len(self._by_pair)}, trajectories={len(self)})")
+
+
+class RouteHistoryStore:
+    """Producer of versioned :class:`HistorySnapshot`\\ s.
+
+    The store owns the version counter and the notion of "current"; readers
+    never talk to the store on the hot path — they pin a snapshot and keep
+    it until their own quiesce point (a stream's ``finalize``). Producers
+    call :meth:`extend` as new trajectories arrive (copy-on-write refresh)
+    or :meth:`rebuild` to replace the window wholesale; both mint a new
+    immutable snapshot and advance ``current``.
+    """
+
+    def __init__(self, trajectories: Iterable[MatchedTrajectory] = (),
+                 slots_per_day: int = 24):
+        self._current = HistorySnapshot.build(trajectories, slots_per_day,
+                                              version=1)
+        self.extends = 0
+        self.rebuilds = 0
+
+    @classmethod
+    def from_snapshot(cls, snapshot: HistorySnapshot) -> "RouteHistoryStore":
+        """A store whose current snapshot (and version) is ``snapshot``."""
+        if not isinstance(snapshot, HistorySnapshot):
+            raise LabelingError(
+                f"expected a HistorySnapshot, got {type(snapshot).__name__}")
+        store = cls.__new__(cls)
+        store._current = snapshot
+        store.extends = 0
+        store.rebuilds = 0
+        return store
+
+    # ------------------------------------------------------------ properties
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+    @property
+    def slots_per_day(self) -> int:
+        return self._current.slots_per_day
+
+    def current(self) -> HistorySnapshot:
+        """The newest snapshot (readers pin it by holding the reference)."""
+        return self._current
+
+    # -------------------------------------------------------------- refresh
+    def extend(self, new_trajectories: Sequence[MatchedTrajectory]
+               ) -> HistorySnapshot:
+        """Mint the next version with ``new_trajectories`` appended.
+
+        Copy-on-write: untouched SD pairs share structure (and derived
+        caches) with the previous snapshot. An empty extension is a no-op
+        returning the current snapshot unchanged — no version is burned.
+        """
+        if not new_trajectories:
+            return self._current
+        self._current = self._current.extended(new_trajectories,
+                                               self._current.version + 1)
+        self.extends += 1
+        return self._current
+
+    def rebuild(self, trajectories: Iterable[MatchedTrajectory]
+                ) -> HistorySnapshot:
+        """Mint the next version from scratch (e.g. a rolled-forward window)."""
+        self._current = HistorySnapshot.build(
+            trajectories, self._current.slots_per_day,
+            version=self._current.version + 1)
+        self.rebuilds += 1
+        return self._current
+
+    def adopt(self, snapshot: HistorySnapshot) -> HistorySnapshot:
+        """Make an externally produced snapshot this store's current one.
+
+        Used when a consumer-side store (a stream engine's pipeline) is
+        handed a snapshot minted elsewhere — e.g. broadcast by
+        :meth:`DetectionService.swap_history`. The snapshot keeps its own
+        version; later :meth:`extend` calls continue counting from it.
+        """
+        if not isinstance(snapshot, HistorySnapshot):
+            raise LabelingError(
+                f"expected a HistorySnapshot, got {type(snapshot).__name__}")
+        if snapshot.slots_per_day != self._current.slots_per_day:
+            raise LabelingError(
+                f"cannot adopt a snapshot with {snapshot.slots_per_day} time "
+                f"slots per day into a store using "
+                f"{self._current.slots_per_day}")
+        self._current = snapshot
+        return self._current
+
+
+def snapshot_to_bytes(snapshot: HistorySnapshot) -> bytes:
+    """Serialize a snapshot (memo caches stripped) to a byte blob.
+
+    This is the payload :meth:`DetectionService.swap_history` broadcasts to
+    worker shards, and the clone mechanism that keeps in-process shards from
+    sharing one mutable memo.
+    """
+    return pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def snapshot_from_bytes(blob: bytes) -> HistorySnapshot:
+    """Rebuild a snapshot from :func:`snapshot_to_bytes` output."""
+    snapshot = pickle.loads(blob)
+    if not isinstance(snapshot, HistorySnapshot):
+        raise LabelingError("the blob does not contain a HistorySnapshot")
+    return snapshot
+
+
+def clone_snapshot(snapshot: HistorySnapshot) -> HistorySnapshot:
+    """A deep, independent copy (serialize/deserialize round trip).
+
+    The clone shares no mutable state — in particular no memo caches — with
+    the original, so handing one to each in-process shard keeps shard
+    engines exactly as isolated as the multi-process backend's pickling
+    would.
+    """
+    return snapshot_from_bytes(snapshot_to_bytes(snapshot))

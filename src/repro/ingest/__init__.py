@@ -10,9 +10,11 @@ incremental map matching
 (:class:`~repro.mapmatching.online.OnlineMapMatcher`).
 
 * :class:`GpsGateway` — reorder buffer, duplicate/late drops, time-gap trip
-  sessions, online matching, batched service ingest, funnel metrics.
+  sessions, wall-clock session timeouts (``advance_clock``), bounded
+  per-vehicle state with least-recently-active eviction, online matching,
+  batched service ingest, funnel metrics.
 * :class:`SessionResult` — one finished trip session (detection result plus
-  matching summary).
+  matching summary and a map-matching confidence score).
 * :func:`serve_raw_fleet` — replay raw-trajectory workloads through a
   gateway (the differential-test and benchmark driver).
 """

@@ -23,7 +23,11 @@ road. The gateway turns the one into the other, per vehicle, online::
   fixes ends the vehicle's current trip session and starts a new one — each
   session is its own (deferred) SD-pair stream in the detection service,
   finalized independently. Explicit :meth:`end` closes a vehicle's last
-  session. Streams are deferred because a raw feed never declares the
+  session; :meth:`advance_clock` closes every vehicle idle past the
+  wall-clock timeout (``session_timeout_s``) so an abandoned trip never
+  needs a later fix to finish, and ``max_vehicles`` bounds the per-vehicle
+  state (least-recently-active vehicles are evicted, counted in
+  :class:`~repro.serve.metrics.GatewayStats`). Streams are deferred because a raw feed never declares the
   rider's destination; the engine labels them wholly at finalize, exactly
   like the reference detector on the completed trip.
 * **Online matching.** Each session runs one
@@ -66,13 +70,19 @@ class SessionResult(NamedTuple):
     ``result`` is the service's detection result for the session's matched
     route; ``match`` summarizes the online matching (``None`` when the
     session ended through a lattice break, whose pending lattice is
-    discarded rather than decoded).
+    discarded rather than decoded). ``confidence`` is the match quality
+    score (:attr:`~repro.mapmatching.online.OnlineMatchResult.confidence`:
+    geometric-mean emission likelihood of the committed fixes vs dead-on
+    fixes, in [0, 1]; 0.0 for broken sessions) — downstream consumers
+    filter low-confidence sessions on it before acting on their anomaly
+    labels.
     """
 
     vehicle_id: Hashable
     session_key: Tuple[Hashable, int]
     result: DetectionResult
     match: Optional[OnlineMatchResult]
+    confidence: float = 0.0
 
 
 @dataclass
@@ -167,10 +177,19 @@ class GpsGateway:
     def push_point(self, vehicle_id: Hashable, point: GPSPoint,
                    start_time_s: Optional[float] = None
                    ) -> List[SessionResult]:
-        """:meth:`push` for callers that already hold a :class:`GPSPoint`."""
+        """:meth:`push` for callers that already hold a :class:`GPSPoint`.
+
+        When a new vehicle would exceed ``config.max_vehicles``, the least
+        recently active vehicle is closed first (its finished sessions are
+        returned alongside any this fix completes) — the bound that keeps
+        the gateway's per-vehicle state, and the online matcher's lattice
+        map behind it, from growing with every vehicle ever seen.
+        """
         self._stats.raw_points += 1
+        evicted: List[SessionResult] = []
         state = self._vehicles.get(vehicle_id)
         if state is None:
+            evicted = self._evict_for_capacity()
             state = _VehicleState(
                 time_origin=start_time_s if start_time_s is not None else 0.0)
             self._vehicles[vehicle_id] = state
@@ -186,7 +205,7 @@ class GpsGateway:
             self._stats.duplicates_dropped += 1
             return []
         state.buffer.insert(position, point)
-        results: List[SessionResult] = []
+        results: List[SessionResult] = list(evicted)
         while len(state.buffer) > self._config.reorder_window:
             released = state.buffer.pop(0)
             state.last_released_t = released.t
@@ -219,6 +238,40 @@ class GpsGateway:
         results: List[SessionResult] = []
         for vehicle_id in list(self._vehicles):
             results.extend(self.end(vehicle_id))
+        return results
+
+    def advance_clock(self, now: float) -> List[SessionResult]:
+        """Close every vehicle idle past the wall-clock timeout.
+
+        ``now`` must be on the same time base the vehicles' fixes resolve
+        to: ``start_time_s + t`` for vehicles anchored with a
+        ``start_time_s``, the raw fix timestamps for vehicles that were
+        not (an unanchored vehicle's ``t`` *is* its absolute time of day —
+        the same convention the session time-slot grouping already uses).
+        Mixing time bases across the fleet — or passing a Unix epoch
+        ``now`` to vehicles whose ``t`` starts near zero — makes every
+        unanchored vehicle look idle and force-closes it on the first
+        tick; keep one clock. A vehicle whose
+        newest known fix — buffered *or* delivered — is older than
+        ``config.session_timeout_s`` (``session_gap_s`` when unset) is
+        closed exactly as :meth:`end` would close it: the reorder buffer is
+        flushed, the trip session is finished and its detection result
+        returned, and the vehicle (with its matcher state) is forgotten.
+        Without this, a vehicle that simply stops reporting — parked, out of
+        coverage, decommissioned — would hold its session, its service
+        stream and its matcher lattice open forever, because a session
+        otherwise only ends on a *later* fix revealing a time gap or an
+        explicit :meth:`end`. Call it from whatever periodic tick the host
+        application already runs.
+        """
+        timeout = self._config.session_timeout_s or self._config.session_gap_s
+        results: List[SessionResult] = []
+        for vehicle_id in list(self._vehicles):
+            state = self._vehicles[vehicle_id]
+            if now - self._last_activity_abs(state) > timeout:
+                if state.session is not None or state.buffer:
+                    self._stats.session_timeouts += 1
+                results.extend(self.end(vehicle_id))
         return results
 
     def pump(self) -> int:
@@ -257,7 +310,8 @@ class GpsGateway:
                          "late_dropped", "duplicates_dropped",
                          "unmatched_dropped", "sessions_opened",
                          "sessions_closed", "sessions_dropped",
-                         "sessions_broken", "gap_splits", "batched_flushes")})
+                         "sessions_broken", "gap_splits", "session_timeouts",
+                         "vehicles_evicted", "batched_flushes")})
         stats.commits = matcher.commits
         stats.forced_commits = matcher.forced_commits
         stats.max_commit_lag = matcher.max_commit_lag
@@ -278,6 +332,41 @@ class GpsGateway:
                              samples=list(self._matcher.commit_lag_samples))
 
     # ------------------------------------------------------------- internals
+    @staticmethod
+    def _last_activity_abs(state: _VehicleState) -> float:
+        """Absolute time of a vehicle's newest known fix (buffered or not)."""
+        newest = state.last_released_t
+        if state.session is not None:
+            newest = max(newest, state.session.last_point_t)
+        if state.buffer:
+            newest = max(newest, state.buffer[-1].t)
+        if newest == float("-inf"):
+            # A vehicle that never produced a usable fix: treat registration
+            # time (its clock origin) as the last activity.
+            return state.time_origin
+        return state.time_origin + newest
+
+    def _evict_for_capacity(self) -> List[SessionResult]:
+        """Make room for one more vehicle under ``config.max_vehicles``.
+
+        Closes (via :meth:`end`) the least recently active vehicle(s) until
+        the bound admits a new one; their finished sessions are returned so
+        no detection result is ever dropped by the bound. Eviction order is
+        by newest-fix time, ties broken by registration order — both
+        deterministic, so a replay reproduces the same evictions.
+        """
+        limit = self._config.max_vehicles
+        if limit <= 0 or len(self._vehicles) < limit:
+            return []
+        results: List[SessionResult] = []
+        while len(self._vehicles) >= limit:
+            victim = min(self._vehicles,
+                         key=lambda v: self._last_activity_abs(
+                             self._vehicles[v]))
+            self._stats.vehicles_evicted += 1
+            results.extend(self.end(victim))
+        return results
+
     def _deliver(self, vehicle_id: Hashable, state: _VehicleState,
                  point: GPSPoint) -> List[SessionResult]:
         """One released (in-order) fix: split sessions, match, forward."""
@@ -371,7 +460,9 @@ class GpsGateway:
         self._stats.sessions_closed += 1
         return SessionResult(vehicle_id=session.key[0],
                              session_key=session.key,
-                             result=result, match=match)
+                             result=result, match=match,
+                             confidence=(match.confidence
+                                         if match is not None else 0.0))
 
 
 def serve_raw_fleet(

@@ -3,15 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..config import LabelingConfig
 from ..exceptions import LabelingError
+from ..history import HistorySnapshot, RouteHistoryStore
 from ..roadnet.graph import RoadNetwork
 from ..trajectory.models import MatchedTrajectory
-from ..trajectory.sdpairs import SDPairIndex, time_slot_of
+from ..trajectory.sdpairs import time_slot_of
 from .noisy import noisy_labels
 from .normal_routes import infer_normal_routes, normal_route_features
 from .transitions import TransitionStatistics
@@ -71,24 +72,51 @@ class PreprocessedTrajectory:
 class PreprocessingPipeline:
     """Computes noisy labels and normal route features against historical data.
 
-    The pipeline holds an :class:`SDPairIndex` of the historical (training)
-    trajectories; per SD-pair group it lazily builds and caches the transition
-    statistics and the inferred normal routes. Both the detector (online) and
-    the trainer reuse the same pipeline.
+    The pipeline is a thin *view* over a versioned
+    :class:`~repro.history.HistorySnapshot`: the per-SD-pair trajectory
+    history (and the memoized transition statistics / normal routes derived
+    from it) lives in the snapshot, which the pipeline pins. Both the
+    detector (online) and the trainer reuse the same pipeline; fleet
+    consumers (stream engines, the detection service) additionally pin the
+    snapshot per stream so a hot refresh (:meth:`load_history`) never
+    changes the labels of a trip already in flight.
+
+    Construct from raw ``historical`` trajectories (a
+    :class:`~repro.history.RouteHistoryStore` is created internally) or from
+    an existing snapshot/store via ``history=``.
     """
 
     def __init__(
         self,
         network: RoadNetwork,
-        historical: Sequence[MatchedTrajectory],
+        historical: Optional[Sequence[MatchedTrajectory]] = None,
         config: Optional[LabelingConfig] = None,
+        history: Optional[Union[HistorySnapshot, RouteHistoryStore]] = None,
     ):
         self._config = (config or LabelingConfig()).validate()
         self._network = network
         self._vocabulary = SegmentVocabulary.from_network(network)
-        self._index = SDPairIndex(historical, self._config.time_slots_per_day)
-        self._statistics_cache: Dict[Tuple[int, int, int], TransitionStatistics] = {}
-        self._normal_routes_cache: Dict[Tuple[int, int, int], List[Tuple[int, ...]]] = {}
+        if history is not None:
+            if historical:
+                raise LabelingError(
+                    "pass either historical trajectories or history=, not both")
+            if isinstance(history, RouteHistoryStore):
+                self._store = history
+            elif isinstance(history, HistorySnapshot):
+                self._store = RouteHistoryStore.from_snapshot(history)
+            else:
+                raise LabelingError(
+                    "history must be a HistorySnapshot or a RouteHistoryStore,"
+                    f" got {type(history).__name__}")
+            if self._store.slots_per_day != self._config.time_slots_per_day:
+                raise LabelingError(
+                    f"the history uses {self._store.slots_per_day} time slots "
+                    f"per day but the labeling config expects "
+                    f"{self._config.time_slots_per_day}")
+        else:
+            self._store = RouteHistoryStore(
+                historical or (), self._config.time_slots_per_day)
+        self._snapshot = self._store.current()
 
     # ---------------------------------------------------------------- access
     @property
@@ -104,65 +132,157 @@ class PreprocessingPipeline:
         return self._network
 
     @property
-    def sd_index(self) -> SDPairIndex:
-        return self._index
+    def history(self) -> HistorySnapshot:
+        """The snapshot this pipeline currently resolves features against."""
+        return self._snapshot
+
+    @property
+    def store(self) -> RouteHistoryStore:
+        """The store producing this pipeline's snapshots (version counter)."""
+        return self._store
+
+    @property
+    def sd_index(self) -> HistorySnapshot:
+        """The pinned snapshot — exposes the historical ``SDPairIndex`` read
+        API (``group`` / ``group_for`` / ``__len__`` / ...)."""
+        return self._snapshot
+
+    # ------------------------------------------------------------- refresh
+    def load_history(self, snapshot: HistorySnapshot) -> HistorySnapshot:
+        """Atomically repin this pipeline to ``snapshot``.
+
+        Every *later* feature resolution uses the new history; resolutions
+        that already happened (and callers still holding the old snapshot,
+        like a stream engine's in-flight streams) are untouched — snapshots
+        are immutable, so the old version keeps answering exactly as before
+        until its last reader lets go of it.
+        """
+        self._store.adopt(snapshot)
+        return self._repin()
+
+    def _repin(self) -> HistorySnapshot:
+        self._snapshot = self._store.current()
+        return self._snapshot
+
+    def extend_history(self, trajectories: Sequence[MatchedTrajectory]
+                       ) -> HistorySnapshot:
+        """Add newly observed trajectories to the history (new version).
+
+        Used by the online-learning strategy: when new data arrives, the
+        normal-route statistics shift with it (concept drift). The refresh
+        is copy-on-write — only the SD pairs the new trajectories touch are
+        re-derived; everything else is shared with the previous snapshot.
+        Returns the new snapshot (publish it to running services with
+        :meth:`DetectionService.swap_history`).
+        """
+        self._store.extend(trajectories)
+        return self._repin()
+
+    def with_history(self, history: Union[HistorySnapshot, RouteHistoryStore]
+                     ) -> "PreprocessingPipeline":
+        """A sibling pipeline pinned to ``history``.
+
+        Shares the (immutable) network, vocabulary and config with this
+        pipeline — building the view costs nothing beyond the store wrapper,
+        which is what makes "a service freshly built from snapshot S"
+        expressible without re-indexing anything.
+        """
+        view = PreprocessingPipeline.__new__(PreprocessingPipeline)
+        view._config = self._config
+        view._network = self._network
+        view._vocabulary = self._vocabulary
+        if isinstance(history, RouteHistoryStore):
+            view._store = history
+        elif isinstance(history, HistorySnapshot):
+            view._store = RouteHistoryStore.from_snapshot(history)
+        else:
+            raise LabelingError(
+                "history must be a HistorySnapshot or a RouteHistoryStore, "
+                f"got {type(history).__name__}")
+        if view._store.slots_per_day != self._config.time_slots_per_day:
+            raise LabelingError(
+                f"the history uses {view._store.slots_per_day} time slots per "
+                f"day but the labeling config expects "
+                f"{self._config.time_slots_per_day}")
+        view._snapshot = view._store.current()
+        return view
 
     # ------------------------------------------------------------- internals
+    def _slot_of(self, start_time_s: float) -> int:
+        return time_slot_of(start_time_s, self._config.time_slots_per_day)
+
     def _group_key(self, trajectory: MatchedTrajectory) -> Tuple[int, int, int]:
-        slot = time_slot_of(trajectory.start_time_s, self._config.time_slots_per_day)
-        return trajectory.source, trajectory.destination, slot
+        return (trajectory.source, trajectory.destination,
+                self._slot_of(trajectory.start_time_s))
 
     def sd_group(self, source: int, destination: int,
-                 start_time_s: float = 0.0) -> List[MatchedTrajectory]:
+                 start_time_s: float = 0.0,
+                 history: Optional[HistorySnapshot] = None
+                 ) -> List[MatchedTrajectory]:
         """The historical group of an SD pair (possibly empty).
 
         Applies the same sparse-slot fallback as preprocessing, but *not* the
         final fallback to the query trajectory itself — callers that only know
         the SD pair (e.g. a stream engine opening a new vehicle stream) use an
-        empty result to detect that the pair has no history at all.
+        empty result to detect that the pair has no history at all. Pass
+        ``history`` to resolve against a pinned snapshot instead of the
+        pipeline's current one.
         """
-        slot = time_slot_of(start_time_s, self._config.time_slots_per_day)
-        group = self._index.group(source, destination, slot)
+        snapshot = history if history is not None else self._snapshot
+        group = snapshot.group(source, destination, self._slot_of(start_time_s))
         if len(group) < self._config.min_slot_group_size:
             # Sparse time slot: the per-hour statistics would be meaningless
             # (a single historical trip would define "the" normal route), so
             # fall back to the SD pair's full history across all time slots.
-            group = self._index.group(source, destination)
+            group = snapshot.group(source, destination)
         return group
 
-    def _group(self, trajectory: MatchedTrajectory) -> List[MatchedTrajectory]:
+    def _resolved_group(self, trajectory: MatchedTrajectory,
+                        snapshot: HistorySnapshot
+                        ) -> Tuple[List[MatchedTrajectory], bool]:
+        """The trajectory's historical group, and whether it is a fallback.
+
+        An SD pair with no history at all falls back to the trajectory
+        itself so statistics are still defined (everything looks normal,
+        which is the conservative choice); that fallback is query-derived,
+        so the snapshot memoizes it separately and drops it on refresh.
+        """
         group = self.sd_group(trajectory.source, trajectory.destination,
-                              trajectory.start_time_s)
-        if not group:
-            # The trajectory's SD pair has no history at all: fall back to the
-            # trajectory itself so statistics are still defined (everything
-            # looks normal, which is the conservative choice).
-            group = [trajectory]
-        return group
+                              trajectory.start_time_s, history=snapshot)
+        if group:
+            return group, False
+        return [trajectory], True
 
-    def statistics_for(self, trajectory: MatchedTrajectory) -> TransitionStatistics:
+    def statistics_for(self, trajectory: MatchedTrajectory,
+                       history: Optional[HistorySnapshot] = None
+                       ) -> TransitionStatistics:
         """Transition statistics of the trajectory's SD-pair group (cached)."""
-        key = self._group_key(trajectory)
-        cached = self._statistics_cache.get(key)
-        if cached is None:
-            cached = TransitionStatistics.from_group(self._group(trajectory))
-            self._statistics_cache[key] = cached
-        return cached
+        snapshot = history if history is not None else self._snapshot
+        key = self._group_key(trajectory) + (self._config.min_slot_group_size,)
+        group, fallback = self._resolved_group(trajectory, snapshot)
+        return snapshot.cached_statistics(
+            key, lambda: TransitionStatistics.from_group(group),
+            fallback=fallback)
 
-    def normal_routes_for(self, trajectory: MatchedTrajectory) -> List[Tuple[int, ...]]:
+    def normal_routes_for(self, trajectory: MatchedTrajectory,
+                          history: Optional[HistorySnapshot] = None
+                          ) -> List[Tuple[int, ...]]:
         """Inferred normal routes of the trajectory's SD-pair group (cached)."""
-        key = self._group_key(trajectory)
-        cached = self._normal_routes_cache.get(key)
-        if cached is None:
-            cached = infer_normal_routes(self._group(trajectory), self._config.delta)
-            self._normal_routes_cache[key] = cached
-        return cached
+        snapshot = history if history is not None else self._snapshot
+        key = self._group_key(trajectory) + (
+            self._config.min_slot_group_size, self._config.delta)
+        group, fallback = self._resolved_group(trajectory, snapshot)
+        return snapshot.cached_routes(
+            key, lambda: infer_normal_routes(group, self._config.delta),
+            fallback=fallback)
 
     # ------------------------------------------------------------ public API
-    def preprocess(self, trajectory: MatchedTrajectory) -> PreprocessedTrajectory:
+    def preprocess(self, trajectory: MatchedTrajectory,
+                   history: Optional[HistorySnapshot] = None
+                   ) -> PreprocessedTrajectory:
         """Tokens, noisy labels, NRFs and fractions of one trajectory."""
-        statistics = self.statistics_for(trajectory)
-        normal_routes = self.normal_routes_for(trajectory)
+        statistics = self.statistics_for(trajectory, history)
+        normal_routes = self.normal_routes_for(trajectory, history)
         return PreprocessedTrajectory(
             trajectory=trajectory,
             tokens=self._vocabulary.tokens(trajectory.segments),
@@ -177,22 +297,3 @@ class PreprocessingPipeline:
         self, trajectories: Sequence[MatchedTrajectory]
     ) -> List[PreprocessedTrajectory]:
         return [self.preprocess(trajectory) for trajectory in trajectories]
-
-    def extend_history(self, trajectories: Sequence[MatchedTrajectory]) -> None:
-        """Add newly observed trajectories to the historical index.
-
-        Used by the online-learning strategy: when new data arrives, the
-        normal-route statistics shift with it (concept drift), so the caches
-        are invalidated and rebuilt lazily.
-        """
-        if not trajectories:
-            return
-        existing = [
-            trajectory
-            for group in self._index.groups().values()
-            for trajectory in group
-        ]
-        self._index = SDPairIndex(
-            existing + list(trajectories), self._config.time_slots_per_day)
-        self._statistics_cache.clear()
-        self._normal_routes_cache.clear()

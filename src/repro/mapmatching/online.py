@@ -82,6 +82,8 @@ class _Session:
     points_matched: int = 0
     forced_commits: int = 0
     max_commit_lag: int = 0
+    committed_points: int = 0
+    squared_distance_sum: float = 0.0  # of committed fixes, for confidence
 
     @property
     def uncommitted(self) -> int:
@@ -107,6 +109,16 @@ class OnlineMatchResult:
     forced_commits: int
     max_commit_lag: int
     broken: bool = False
+    #: How well the raw fixes sit on the matched route, in [0, 1]: the
+    #: geometric-mean emission likelihood of the decoded candidates
+    #: relative to dead-on fixes — ``exp(-mean(d^2) / (2 sigma^2))`` over
+    #: the committed fix-to-segment distances ``d``. 1.0 means every fix
+    #: lay exactly on its matched segment; GPS noise at the model's
+    #: ``gps_sigma_m`` scores ~0.6, wide-noise or misattributed fixes pull
+    #: it toward 0, and broken sessions score exactly 0. Emission-only by
+    #: design: the transition model's straight-line-vs-network gap is
+    #: route-geometry, not match quality, and would drown the signal.
+    confidence: float = 0.0
 
     @property
     def succeeded(self) -> bool:
@@ -281,7 +293,24 @@ class OnlineMapMatcher:
             forced_commits=session.forced_commits,
             max_commit_lag=session.max_commit_lag,
             broken=broken,
+            confidence=self._confidence(session, broken),
         )
+
+    def _confidence(self, session: _Session, broken: bool) -> float:
+        """Emission-quality score in [0, 1] (see the result field's doc).
+
+        Computed from the committed candidates' fix-to-segment distances
+        only — comparing the raw likelihood against its ceiling instead
+        would fold in the transition model's straight-line-vs-network gap,
+        which reflects route geometry (a fix every 30 m along 220 m
+        segments) rather than match quality, and compresses every score
+        into an unthresholdable sliver above zero.
+        """
+        if broken or not session.route or session.committed_points <= 0:
+            return 0.0
+        sigma = self._config.gps_sigma_m
+        mean_squared = session.squared_distance_sum / session.committed_points
+        return math.exp(-0.5 * mean_squared / (sigma * sigma))
 
     def discard(self, key: Hashable) -> None:
         """Drop one session without committing its pending lattice."""
@@ -389,9 +418,12 @@ class OnlineMapMatcher:
                 emitted.extend(bridge[1:])
             if emitted:
                 tail = emitted[-1]
-        # Point of no return: apply route and lag accounting.
+        # Point of no return: apply route, lag and confidence accounting.
         newest_arrival = session.points_matched - 1
-        for column, _ in choices:
+        for column, choice in choices:
+            distance = column.candidates[choice][1]
+            session.squared_distance_sum += distance * distance
+            session.committed_points += 1
             lag = newest_arrival - column.arrival
             session.max_commit_lag = max(session.max_commit_lag, lag)
             self.max_commit_lag = max(self.max_commit_lag, lag)

@@ -6,7 +6,9 @@ deployable detector:
 * :class:`~repro.serve.service.DetectionService` — shard N concurrent
   vehicle streams across worker engines (in-process or one OS process per
   shard), with bounded ingest queues, an explicit backpressure signal, and
-  atomic model hot-swap that never drops an in-flight stream.
+  atomic control-plane hot-swap (``swap`` / ``swap_model`` /
+  ``swap_history``: weights, the versioned normal-route history, or both)
+  that never drops an in-flight stream.
 * :func:`~repro.serve.service.serve_fleet` — replay a trajectory workload
   through a service (the benchmark/differential-test driver).
 * :mod:`~repro.serve.checkpoint` — model persistence:
@@ -17,7 +19,8 @@ deployable detector:
 * :mod:`~repro.serve.sharding` — stable vehicle-to-shard assignment.
 """
 
-from .backends import IngestEvent, InProcessBackend, ProcessBackend
+from .backends import (ControlUpdate, IngestEvent, InProcessBackend,
+                       ProcessBackend)
 from .checkpoint import (CHECKPOINT_VERSION, clone_model, load_model,
                          model_from_bytes, model_to_bytes, save_model,
                          weights_snapshot)
@@ -29,6 +32,7 @@ __all__ = [
     "DetectionService",
     "IngestStatus",
     "serve_fleet",
+    "ControlUpdate",
     "IngestEvent",
     "InProcessBackend",
     "ProcessBackend",

@@ -30,13 +30,17 @@ carrying many points — the IPC-amortized path behind
 reply ``(kind, payload)`` on the result queue. The single-caller service
 never pipelines two replied commands at once, so replies cannot interleave.
 Because the queue is FIFO, every point that is *eligible for labeling* by
-the time a ``swap`` command arrives is labeled by the old weights — the
-worker applies all earlier ingests and quiesces the engine before loading
-the snapshot — which is what makes hot-swaps deterministic and testable.
-(Points that only become labelable later — a stream's latest point awaiting
-its successor, or any point of a deferred stream, which is labeled wholly at
-finalize — get whatever weights are serving then, exactly like a single
-engine whose weights were swapped at the same quiescent boundary.)
+the time a ``swap`` command (a :class:`ControlUpdate` carrying new weights,
+a new history snapshot, or both) arrives is labeled by the old
+weights/history — the worker applies all earlier ingests and quiesces the
+engine before loading the update — which is what makes hot-swaps
+deterministic and testable. (Points that only become labelable later — a
+stream's latest point awaiting its successor, or any point of a deferred
+stream, which is labeled wholly at finalize — get whatever weights are
+serving then, exactly like a single engine whose weights were swapped at
+the same quiescent boundary. History goes one step further: each *stream*
+pins the snapshot it opened with, so even a deferred stream finalized after
+a history refresh is labeled by its pre-refresh history.)
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ from typing import Deque, Hashable, List, NamedTuple, Optional, Sequence
 from ..core.detector import DetectionResult
 from ..core.stream import StreamEngine
 from ..exceptions import ServiceError
+from ..history import HistorySnapshot, clone_snapshot
 from .checkpoint import WeightsSnapshot, model_from_bytes
 from .metrics import ShardStats
 
@@ -66,6 +71,35 @@ class IngestEvent(NamedTuple):
     destination: Optional[int]
     start_time_s: float
     trajectory_id: Optional[int]
+
+
+class ControlUpdate(NamedTuple):
+    """One atomic control-plane update broadcast to every shard.
+
+    Carries new network weights, a new history snapshot, or both — applied
+    at a single quiescent boundary per shard, so "new model + new history"
+    can never be observed half-applied. Built by
+    :meth:`DetectionService.swap` (of which ``swap_model`` and
+    ``swap_history`` are the single-payload special cases).
+    """
+
+    weights: Optional[WeightsSnapshot] = None
+    history: Optional[HistorySnapshot] = None
+
+
+def apply_update(engine: StreamEngine, update: ControlUpdate) -> None:
+    """Apply one control update to a quiesced shard engine.
+
+    Weights first — ``load_weights`` validates both state dicts before
+    mutating anything, so a bad snapshot leaves the engine fully on the old
+    weights *and* the old history. ``load_history`` is an infallible
+    reference swap after facade-side validation, so the pair is atomic.
+    """
+    if update.weights is not None:
+        engine.load_weights(update.weights["rsrnet"],
+                            update.weights["asdnet"])
+    if update.history is not None:
+        engine.load_history(update.history)
 
 
 def apply_event(engine: StreamEngine, event: IngestEvent) -> None:
@@ -123,7 +157,7 @@ class ServiceBackend:
                  vehicle_ids: Sequence[Hashable]) -> List[DetectionResult]:
         raise NotImplementedError
 
-    def swap(self, snapshot: WeightsSnapshot) -> None:
+    def swap(self, update: ControlUpdate) -> None:
         raise NotImplementedError
 
     def stats(self) -> List[ShardStats]:
@@ -213,13 +247,22 @@ class InProcessBackend(ServiceBackend):
         finally:
             state.busy_seconds += time.perf_counter() - started
 
-    def swap(self, snapshot: WeightsSnapshot) -> None:
+    def swap(self, update: ControlUpdate) -> None:
         # Quiesce first so every point already accepted is labeled by the old
-        # weights — the same boundary the process backend's FIFO guarantees.
+        # weights/history — the same boundary the process backend's FIFO
+        # guarantees. The history snapshot is cloned once for the whole
+        # backend: in-process shard engines share a single pipeline (they
+        # were built from one clone_model), so one clone both isolates the
+        # backend from the caller's live snapshot (whose memo caches would
+        # otherwise leak into serving, and vice versa) and keeps every
+        # shard on the same object, exactly like at construction.
         self.drain()
+        if update.history is not None:
+            update = update._replace(history=clone_snapshot(update.history))
         for state in self._shards:
-            state.engine.load_weights(snapshot["rsrnet"], snapshot["asdnet"])
-            state.swaps += 1
+            apply_update(state.engine, update)
+            if update.weights is not None:
+                state.swaps += 1
 
     def stats(self) -> List[ShardStats]:
         snapshots = []
@@ -238,6 +281,8 @@ class InProcessBackend(ServiceBackend):
                 cache_hits=engine.cache.hits,
                 cache_misses=engine.cache.misses,
                 swaps=state.swaps,
+                history_version=engine.history_version,
+                history_refreshes=engine.history_refreshes,
             ))
         return snapshots
 
@@ -314,9 +359,10 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
                 reply("finalized", value)
             elif kind == "swap":
                 quiesce()
-                snapshot = command[1]
-                engine.load_weights(snapshot["rsrnet"], snapshot["asdnet"])
-                swaps += 1
+                update = command[1]
+                apply_update(engine, update)
+                if update.weights is not None:
+                    swaps += 1
                 reply("swapped")
             elif kind == "stats":
                 reply("stats", ShardStats(
@@ -332,6 +378,8 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
                     cache_hits=engine.cache.hits,
                     cache_misses=engine.cache.misses,
                     swaps=swaps,
+                    history_version=engine.history_version,
+                    history_refreshes=engine.history_refreshes,
                 ))
             else:
                 reply("error", ServiceError(f"unknown command {kind!r}"))
@@ -456,15 +504,15 @@ class ProcessBackend(ServiceBackend):
         return self._request(self._shards[shard],
                              ("finalize", list(vehicle_ids)), "finalized")
 
-    def swap(self, snapshot: WeightsSnapshot) -> None:
+    def swap(self, update: ControlUpdate) -> None:
         # Broadcast first so shards swap concurrently, then await each ack.
         # Per-shard FIFO still guarantees every already-eligible point is
-        # labeled by the old weights (the worker quiesces before loading).
-        # Every shard's reply is consumed before any error is raised — an
-        # unread reply would answer that shard's *next* request and desync
-        # the whole protocol.
+        # labeled by the old weights/history (the worker quiesces before
+        # loading). Every shard's reply is consumed before any error is
+        # raised — an unread reply would answer that shard's *next* request
+        # and desync the whole protocol.
         for shard in self._shards:
-            shard.commands.put(("swap", snapshot))
+            shard.commands.put(("swap", update))
         first_error: Optional[BaseException] = None
         for shard in self._shards:
             try:

@@ -2,8 +2,12 @@
 
 A checkpoint is everything needed to serve the model somewhere else: both
 networks' ``state_dict`` snapshots plus their configurations, and the
-preprocessing pipeline (vocabulary, historical SD-pair index, normal-route
-caches) the detectors resolve normal routes against. Training state that only
+preprocessing pipeline — whose pinned, versioned
+:class:`~repro.history.HistorySnapshot` carries the SD-pair history the
+detectors resolve normal routes against. The history *version* is persisted
+explicitly alongside the pipeline, so a save → load round trip reproduces
+labels exactly even for a model whose history was refreshed past the seed
+(and the mismatch is detected if the pipeline blob ever disagrees). Training state that only
 matters for *continuing* a run — optimizer moments, the REINFORCE baseline —
 is deliberately not persisted: a loaded model detects identically to the
 saved one (pinned by ``tests/test_checkpoint.py``), and resumed training
@@ -35,7 +39,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.rl4oasd import RL4OASDModel
 
 #: Bump when the payload layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: v2: the pipeline pins a versioned HistorySnapshot; ``history_version``
+#: is persisted explicitly and checked on load.
+CHECKPOINT_VERSION = 2
 
 _MAGIC = "repro-rl4oasd-checkpoint"
 
@@ -66,6 +72,7 @@ def _payload(model: "RL4OASDModel") -> dict:
         "vocabulary_size": len(model.pipeline.vocabulary),
         "training_config": model.training_config,
         "pipeline": model.pipeline,
+        "history_version": model.pipeline.history.version,
         "report": model.report,
     }
 
@@ -88,10 +95,15 @@ def _restore(payload: dict) -> "RL4OASDModel":
     asdnet = ASDNet(representation_dim=rsrnet.representation_dim,
                     config=payload["asdnet_config"])
     asdnet.load_state_dict(payload["asdnet_state"])
+    pipeline = payload["pipeline"]
+    if pipeline.history.version != payload["history_version"]:
+        raise CheckpointError(
+            f"checkpoint claims history version {payload['history_version']} "
+            f"but its pipeline carries version {pipeline.history.version}")
     return RL4OASDModel(
         rsrnet=rsrnet,
         asdnet=asdnet,
-        pipeline=payload["pipeline"],
+        pipeline=pipeline,
         training_config=payload["training_config"],
         report=payload["report"],
     )

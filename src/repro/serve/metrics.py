@@ -32,6 +32,8 @@ class ShardStats:
     cache_hits: int = 0
     cache_misses: int = 0
     swaps: int = 0
+    history_version: int = 0
+    history_refreshes: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -68,6 +70,8 @@ class ShardStats:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "swaps": self.swaps,
+            "history_version": self.history_version,
+            "history_refreshes": self.history_refreshes,
         }
 
 
@@ -93,6 +97,8 @@ class GatewayStats:
     sessions_dropped: int = 0
     sessions_broken: int = 0
     gap_splits: int = 0
+    session_timeouts: int = 0
+    vehicles_evicted: int = 0
     commits: int = 0
     forced_commits: int = 0
     max_commit_lag: int = 0
@@ -128,6 +134,8 @@ class GatewayStats:
             "sessions_dropped": self.sessions_dropped,
             "sessions_broken": self.sessions_broken,
             "gap_splits": self.gap_splits,
+            "session_timeouts": self.session_timeouts,
+            "vehicles_evicted": self.vehicles_evicted,
             "commits": self.commits,
             "forced_commits": self.forced_commits,
             "forced_commit_rate": self.forced_commit_rate,
@@ -146,8 +154,10 @@ class GatewayStats:
             f"{self.duplicates_dropped} duplicate, "
             f"{self.unmatched_dropped} unmatchable), "
             f"{self.sessions_closed} sessions closed "
-            f"({self.gap_splits} gap splits, {self.sessions_dropped} empty, "
-            f"{self.sessions_broken} broken), "
+            f"({self.gap_splits} gap splits, {self.session_timeouts} "
+            f"timeouts, {self.sessions_dropped} empty, "
+            f"{self.sessions_broken} broken, "
+            f"{self.vehicles_evicted} vehicles evicted), "
             f"commit lag mean {self.mean_commit_lag:.1f} / "
             f"max {self.max_commit_lag} points "
             f"({self.forced_commit_rate:.1%} forced), "
@@ -163,6 +173,8 @@ class ServiceMetrics:
     rejected_ingests: int = 0
     batched_ingests: int = 0
     model_version: int = 0
+    history_version: int = 0
+    history_refreshes: int = 0
     gateway: Optional[GatewayStats] = None
 
     @property
@@ -218,7 +230,9 @@ class ServiceMetrics:
             f"backpressure rejections {self.rejected_ingests} "
             f"({self.rejection_rate:.1%}), "
             f"{self.batched_ingests} batched ingests, "
-            f"model v{self.model_version}",
+            f"model v{self.model_version}, "
+            f"history v{self.history_version} "
+            f"({self.history_refreshes} refreshes)",
         ]
         for shard in self.shards:
             lines.append(
@@ -226,7 +240,8 @@ class ServiceMetrics:
                 f"{shard.points_processed} pts in {shard.ticks} ticks "
                 f"(avg batch {shard.mean_tick_batch:.1f}), "
                 f"queue {shard.queue_depth}, pending {shard.pending_points}, "
-                f"cache {shard.cache_hit_rate:.1%}, swaps {shard.swaps}")
+                f"cache {shard.cache_hit_rate:.1%}, swaps {shard.swaps}, "
+                f"history v{shard.history_version}")
         if self.gateway is not None:
             lines.append(f"  {self.gateway.format()}")
         return "\n".join(lines)

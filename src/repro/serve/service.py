@@ -19,10 +19,14 @@ single ingest facade:
 * **Snapshot isolation + hot-swap.** The service serves a *snapshot* of the
   model taken at construction (a deep clone in process memory, or a pickled
   blob shipped to worker processes). Callers keep fine-tuning their own
-  model freely; :meth:`swap_model` pushes the new weights to every shard at
-  a deterministic boundary — each point accepted before the swap is labeled
-  by the old weights, everything after by the new — without dropping a
-  single in-flight stream.
+  model freely; :meth:`swap` pushes one atomic control-plane update — new
+  weights (:meth:`swap_model`), a new versioned normal-route history
+  snapshot (:meth:`swap_history`), or both — to every shard at a
+  deterministic boundary, without dropping a single in-flight stream. Each
+  point accepted before the swap is labeled by the old weights against the
+  old history; streams opened after a history refresh label exactly like a
+  service freshly built from the new snapshot, while streams in flight keep
+  the snapshot they opened with until finalize.
 * **Metrics.** :meth:`metrics` returns the fleet dashboard
   (:class:`~repro.serve.metrics.ServiceMetrics`): per-shard throughput,
   queue depth, cache hit rate, swap counts.
@@ -42,9 +46,11 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 from ..core.detector import DetectionResult
 from ..core.rl4oasd import RL4OASDModel
 from ..exceptions import ServiceError
+from ..history import HistorySnapshot, RouteHistoryStore
+from ..labeling.features import PreprocessingPipeline
 from ..trajectory.models import MatchedTrajectory
-from .backends import (IngestEvent, InProcessBackend, ProcessBackend,
-                       ServiceBackend)
+from .backends import (ControlUpdate, IngestEvent, InProcessBackend,
+                       ProcessBackend, ServiceBackend)
 from .checkpoint import (WeightsSnapshot, clone_model, model_to_bytes,
                          weights_snapshot)
 from .metrics import ServiceMetrics
@@ -85,6 +91,7 @@ class DetectionService:
         # architecture/shape checks before a swap is broadcast); the shards
         # serve an isolated snapshot taken right now.
         self._vocabulary = model.pipeline.vocabulary
+        self._labeling_config = model.pipeline.config
         self._rsrnet_template = model.rsrnet
         self._asdnet_template = model.asdnet
         self._num_shards = num_shards
@@ -93,6 +100,8 @@ class DetectionService:
         self._rejected = 0
         self._batched_ingests = 0
         self._model_version = 1
+        self._history_version = model.pipeline.history.version
+        self._history_refreshes = 0
         self._closed = False
         if backend == "inprocess":
             self._backend: ServiceBackend = InProcessBackend(
@@ -127,8 +136,20 @@ class DetectionService:
 
     @property
     def model_version(self) -> int:
-        """Bumped by every successful :meth:`swap_model`."""
+        """Bumped by every successful swap carrying weights."""
         return self._model_version
+
+    @property
+    def history_version(self) -> int:
+        """Version of the history snapshot the shards currently serve.
+
+        The snapshot's own :attr:`~repro.history.HistorySnapshot.version`
+        (it came out of the producer's
+        :class:`~repro.history.RouteHistoryStore`), initially the version
+        pinned by the model at construction and updated by every successful
+        swap carrying history.
+        """
+        return self._history_version
 
     @property
     def closed(self) -> bool:
@@ -320,44 +341,113 @@ class DetectionService:
         return [results[vehicle_id] for vehicle_id in vehicle_ids]
 
     # ------------------------------------------------------------- hot swap
+    def swap(
+        self,
+        weights: Optional[Union[RL4OASDModel, WeightsSnapshot]] = None,
+        history: Optional[Union[RL4OASDModel, PreprocessingPipeline,
+                                RouteHistoryStore, HistorySnapshot]] = None,
+    ) -> Tuple[int, int]:
+        """One atomic control-plane update: new weights, new history, or both.
+
+        Everything is validated at this facade *before* anything is
+        broadcast, so a mismatched payload cannot leave the fleet on mixed
+        state; each shard then applies the whole update at one quiescent
+        boundary — every point already eligible for labeling when this is
+        called is labeled by the old weights against the old history, and
+        "new weights + new history" can never be observed half-applied.
+        In-flight streams survive both halves: recurrent state and emitted
+        labels carry across a weight swap, and each stream keeps the history
+        snapshot it *opened* with until it finalizes (so a deferred stream
+        finalized after a refresh still labels exactly like the pre-refresh
+        service — the quiesce discipline of the weight hot-swap, extended to
+        history).
+
+        ``weights`` accepts a fine-tuned :class:`RL4OASDModel` or a prebuilt
+        :func:`~repro.serve.checkpoint.weights_snapshot`; ``history``
+        accepts a :class:`~repro.history.HistorySnapshot`, the
+        :class:`~repro.history.RouteHistoryStore` / pipeline / model that
+        holds one. Returns ``(model_version, history_version)`` after the
+        update.
+        """
+        self._require_open_service()
+        if weights is None and history is None:
+            raise ServiceError("swap needs new weights, new history, or both")
+        snapshot: Optional[WeightsSnapshot] = None
+        if weights is not None:
+            snapshot = (weights_snapshot(weights)
+                        if isinstance(weights, RL4OASDModel) else weights)
+            if set(snapshot) != {"rsrnet", "asdnet"}:
+                raise ServiceError(
+                    "a weights snapshot needs exactly the keys "
+                    "'rsrnet' and 'asdnet'")
+            # Shape-check against the serving architecture before
+            # broadcasting: a worker-side rejection after a partial
+            # broadcast is exactly the mixed-weights hazard this call
+            # promises to avoid.
+            self._rsrnet_template.validate_state_dict(snapshot["rsrnet"])
+            self._asdnet_template.validate_state_dict(snapshot["asdnet"])
+        history_snapshot = (self._coerce_history(history)
+                            if history is not None else None)
+        self._backend.swap(ControlUpdate(weights=snapshot,
+                                         history=history_snapshot))
+        if snapshot is not None:
+            self._model_version += 1
+        if history_snapshot is not None:
+            self._history_version = history_snapshot.version
+            self._history_refreshes += 1
+        return self._model_version, self._history_version
+
     def swap_model(
         self, model: Union[RL4OASDModel, WeightsSnapshot]
     ) -> int:
         """Push new weights to every shard; returns the new model version.
 
-        Accepts a fine-tuned :class:`RL4OASDModel` (e.g. fresh from
-        :meth:`OnlineLearner.observe_part`) or a prebuilt
-        :func:`~repro.serve.checkpoint.weights_snapshot`. The snapshot is
-        validated against the serving architecture *before* anything is
-        broadcast, so a mismatched model cannot leave the fleet on mixed
-        weights. In-flight streams survive: each keeps its recurrent state
-        and emitted labels, and every point already eligible for labeling
-        when this is called is labeled by the old weights. (A stream's
-        latest point — which waits for its successor — and the buffered
-        points of deferred streams, which are labeled wholly at finalize,
-        get the weights serving at that later moment, exactly as a single
-        engine swapped at the same quiescent boundary would label them.)
-
-        Note the swap replaces *network weights* only. The preprocessing
-        pipeline (normal-route statistics) each shard resolves against is
-        the one snapshotted at service construction — rebuild the service to
-        pick up new historical data.
+        Shorthand for ``swap(weights=model)`` — see :meth:`swap` for the
+        atomicity and in-flight-stream guarantees. The history each shard
+        resolves against is untouched; pair with :meth:`swap_history` (or
+        one combined :meth:`swap`) to roll both forward.
         """
-        self._require_open_service()
-        snapshot = (weights_snapshot(model)
-                    if isinstance(model, RL4OASDModel) else model)
-        if set(snapshot) != {"rsrnet", "asdnet"}:
+        return self.swap(weights=model)[0]
+
+    def swap_history(
+        self, history: Union[RL4OASDModel, PreprocessingPipeline,
+                             RouteHistoryStore, HistorySnapshot]
+    ) -> int:
+        """Hot-refresh the normal-route history on every shard, atomically.
+
+        Shorthand for ``swap(history=history)``; returns the new history
+        version. Closes the last "rebuild the world" gap of the serving
+        story: after this call the service labels exactly like a service
+        freshly built from the given snapshot — for every stream *opened
+        after* the refresh — while streams in flight keep the snapshot they
+        opened with and finalize exactly like the pre-refresh service
+        (pinned by ``tests/test_history_refresh.py``).
+        """
+        return self.swap(history=history)[1]
+
+    def _coerce_history(self, history) -> HistorySnapshot:
+        """Resolve a swap's history argument to its validated snapshot."""
+        if isinstance(history, RL4OASDModel):
+            history = history.pipeline
+        if isinstance(history, PreprocessingPipeline):
+            history = history.history
+        if isinstance(history, RouteHistoryStore):
+            history = history.current()
+        if not isinstance(history, HistorySnapshot):
             raise ServiceError(
-                "a weights snapshot needs exactly the keys "
-                "'rsrnet' and 'asdnet'")
-        # Shape-check against the serving architecture before broadcasting:
-        # a worker-side rejection after a partial broadcast is exactly the
-        # mixed-weights hazard this call promises to avoid.
-        self._rsrnet_template.validate_state_dict(snapshot["rsrnet"])
-        self._asdnet_template.validate_state_dict(snapshot["asdnet"])
-        self._backend.swap(snapshot)
-        self._model_version += 1
-        return self._model_version
+                "history must be a HistorySnapshot (or a model / pipeline / "
+                f"RouteHistoryStore holding one), got {type(history).__name__}")
+        if history.slots_per_day != self._labeling_config.time_slots_per_day:
+            raise ServiceError(
+                f"history snapshot uses {history.slots_per_day} time slots "
+                f"per day but the service was built for "
+                f"{self._labeling_config.time_slots_per_day}")
+        # Fail fast on segments the serving vocabulary cannot express: a
+        # worker would only trip over them lazily, at some later stream's
+        # normal-route resolution — long after a partial broadcast.
+        for segment in history.segment_universe():
+            self._vocabulary.token(segment)
+        return history
 
     # -------------------------------------------------------------- metrics
     def metrics(self) -> ServiceMetrics:
@@ -369,6 +459,8 @@ class DetectionService:
             rejected_ingests=self._rejected,
             batched_ingests=self._batched_ingests,
             model_version=self._model_version,
+            history_version=self._history_version,
+            history_refreshes=self._history_refreshes,
         )
 
     # ------------------------------------------------------------ lifecycle

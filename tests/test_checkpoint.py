@@ -115,6 +115,50 @@ def test_clone_is_fully_independent(trained_model, dataset_split):
     assert trained_model.detector().detect(test[0]).labels == expected
 
 
+def test_round_trip_preserves_history_version(trained_model, checkpoint_path,
+                                              dataset_split):
+    """A checkpoint persists the pinned history version and restores it."""
+    loaded = load_model(checkpoint_path)
+    assert (loaded.pipeline.history.version
+            == trained_model.pipeline.history.version)
+    assert len(loaded.pipeline.sd_index) == len(trained_model.pipeline.sd_index)
+
+
+def test_round_trip_with_refreshed_history_is_label_identical(trained_model,
+                                                              dataset_split,
+                                                              tmp_path):
+    """Satellite: save -> load of a model whose history moved past the seed
+    version reproduces labels exactly, on the fresh history and after both
+    sides refresh again with the same data."""
+    train, development, test = dataset_split
+    model = clone_model(trained_model)
+    model.pipeline.extend_history(development)
+    assert model.pipeline.history.version == 2  # non-seed version
+    path = model.save(tmp_path / "refreshed.ckpt")
+    loaded = load_model(path)
+    assert loaded.pipeline.history.version == 2
+    assert len(loaded.pipeline.sd_index) == len(model.pipeline.sd_index)
+    detector, loaded_detector = model.detector(), loaded.detector()
+    for trajectory in test[:8]:
+        assert (loaded_detector.detect(trajectory).labels
+                == detector.detect(trajectory).labels)
+    # Refresh both sides identically: still label-identical, same version.
+    model.pipeline.extend_history(train[:30])
+    loaded.pipeline.extend_history(train[:30])
+    assert loaded.pipeline.history.version == model.pipeline.history.version == 3
+    detector, loaded_detector = model.detector(), loaded.detector()
+    for trajectory in test[:8]:
+        assert (loaded_detector.detect(trajectory).labels
+                == detector.detect(trajectory).labels)
+
+
+def test_load_detects_history_version_mismatch(trained_model):
+    payload = pickle.loads(model_to_bytes(trained_model))
+    payload["history_version"] = 99
+    with pytest.raises(CheckpointError):
+        model_from_bytes(pickle.dumps(payload))
+
+
 def test_weights_snapshot_shape_and_validation(trained_model):
     snapshot = weights_snapshot(trained_model)
     assert set(snapshot) == {"rsrnet", "asdnet"}

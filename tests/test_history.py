@@ -1,0 +1,279 @@
+"""Unit tests of the versioned route-history subsystem (``repro.history``).
+
+The contracts pinned here: snapshots are immutable and monotonically
+versioned; ``extend`` is copy-on-write with structural sharing (untouched SD
+pairs keep their group tuples *and* their memoized derived values by
+identity); serialization strips the memo caches but preserves the data and
+the version; and the preprocessing pipeline is a thin, swappable view whose
+feature resolution can be pinned to any snapshot.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import LabelingConfig
+from repro.exceptions import LabelingError
+from repro.history import (HistorySnapshot, RouteHistoryStore, clone_snapshot,
+                           snapshot_from_bytes, snapshot_to_bytes)
+from repro.labeling import PreprocessingPipeline
+from repro.trajectory import MatchedTrajectory
+
+
+def make(tid, segments, start=0.0):
+    return MatchedTrajectory(trajectory_id=tid, segments=segments,
+                             start_time_s=start)
+
+
+@pytest.fixture
+def seed_trajectories():
+    """Two SD pairs: (1 -> 10) with a dominant route, and (20 -> 30)."""
+    pair_a = [make(i, [1, 2, 3, 10]) for i in range(6)]
+    pair_a += [make(6, [1, 2, 4, 10])]
+    pair_b = [make(10 + i, [20, 21, 30]) for i in range(4)]
+    return pair_a + pair_b
+
+
+# ----------------------------------------------------------------- versions
+def test_store_versions_are_monotone(seed_trajectories):
+    store = RouteHistoryStore(seed_trajectories, slots_per_day=24)
+    assert store.version == 1
+    first = store.current()
+    second = store.extend([make(100, [1, 2, 3, 10])])
+    assert second.version == 2
+    assert store.current() is second
+    third = store.rebuild(seed_trajectories)
+    assert third.version == 3
+    # The old snapshot is untouched — readers pinned to it see version 1.
+    assert first.version == 1
+    assert len(first) == len(seed_trajectories)
+
+
+def test_empty_extend_burns_no_version(seed_trajectories):
+    store = RouteHistoryStore(seed_trajectories)
+    current = store.current()
+    assert store.extend([]) is current
+    assert store.version == 1
+    assert store.extends == 0
+
+
+def test_snapshot_rejects_bad_construction():
+    with pytest.raises(LabelingError):
+        HistorySnapshot.build([], slots_per_day=0)
+    with pytest.raises(LabelingError):
+        HistorySnapshot.build([], slots_per_day=24, version=0)
+    with pytest.raises(LabelingError):
+        RouteHistoryStore.from_snapshot("not a snapshot")
+
+
+def test_adopt_checks_slot_compatibility(seed_trajectories):
+    store = RouteHistoryStore(seed_trajectories, slots_per_day=24)
+    other = HistorySnapshot.build(seed_trajectories, slots_per_day=12,
+                                  version=5)
+    with pytest.raises(LabelingError):
+        store.adopt(other)
+    compatible = HistorySnapshot.build(seed_trajectories, slots_per_day=24,
+                                       version=7)
+    store.adopt(compatible)
+    assert store.version == 7
+    # extend counts on from the adopted version.
+    assert store.extend([make(200, [1, 2, 3, 10])]).version == 8
+
+
+# ------------------------------------------------------- structural sharing
+def test_extend_shares_untouched_pairs(seed_trajectories):
+    store = RouteHistoryStore(seed_trajectories)
+    before = store.current()
+    after = store.extend([make(100, [1, 2, 4, 10])])  # touches (1, 10) only
+    groups_before = before.groups()
+    groups_after = after.groups()
+    for key in groups_before:
+        if (key.source, key.destination) == (20, 30):
+            assert groups_after[key] is groups_before[key]  # shared tuple
+        else:
+            assert groups_after[key] is not groups_before[key]
+    assert len(after.group(1, 10)) == len(before.group(1, 10)) + 1
+    assert len(after) == len(before) + 1
+
+
+def test_extend_carries_derived_caches_of_untouched_pairs(seed_trajectories):
+    store = RouteHistoryStore(seed_trajectories)
+    snapshot = store.current()
+    sentinel_b = object()
+    sentinel_a = object()
+    key_b = (20, 30, 0, "cfg")
+    key_a = (1, 10, 0, "cfg")
+    assert snapshot.cached_statistics(key_b, lambda: sentinel_b) is sentinel_b
+    assert snapshot.cached_statistics(key_a, lambda: sentinel_a) is sentinel_a
+    extended = store.extend([make(100, [1, 2, 4, 10])])  # touches (1, 10)
+    # Untouched pair's memo survives; the touched pair's entry was dropped.
+    assert extended.cached_statistics(
+        key_b, lambda: pytest.fail("should be cached")) is sentinel_b
+    fresh = object()
+    assert extended.cached_statistics(key_a, lambda: fresh) is fresh
+
+
+def test_extend_invalidates_all_slots_of_a_touched_pair(seed_trajectories):
+    """The sparse-slot fallback makes every slot of a pair depend on the
+    pair's full history, so a refresh must drop them all."""
+    store = RouteHistoryStore(seed_trajectories)
+    snapshot = store.current()
+    sentinel = object()
+    other_slot_key = (1, 10, 13, "cfg")
+    snapshot.cached_routes(other_slot_key, lambda: sentinel)
+    # The new trajectory lands in slot 0, but slot 13's entry must go too.
+    extended = store.extend([make(100, [1, 2, 4, 10], start=0.0)])
+    fresh = object()
+    assert extended.cached_routes(other_slot_key, lambda: fresh) is fresh
+
+
+# ------------------------------------------------------------ serialization
+def test_snapshot_round_trip_preserves_data_and_version(seed_trajectories):
+    store = RouteHistoryStore(seed_trajectories)
+    store.extend([make(100, [1, 2, 4, 10])])
+    snapshot = store.current()
+    snapshot.cached_statistics(("x",), lambda: "memo")  # populate a cache
+    restored = snapshot_from_bytes(snapshot_to_bytes(snapshot))
+    assert restored.version == snapshot.version
+    assert restored.slots_per_day == snapshot.slots_per_day
+    assert len(restored) == len(snapshot)
+    assert restored.pair_sizes() == snapshot.pair_sizes()
+    assert restored.sd_pairs() == snapshot.sd_pairs()
+    # Memo caches are stripped: a receiver recomputes from its own queries.
+    fresh = object()
+    assert restored.cached_statistics(("x",), lambda: fresh) is fresh
+
+
+def test_clone_snapshot_shares_no_memo(seed_trajectories):
+    snapshot = HistorySnapshot.build(seed_trajectories)
+    snapshot.cached_routes(("k",), lambda: "original")
+    clone = clone_snapshot(snapshot)
+    assert clone is not snapshot
+    assert clone.cached_routes(("k",), lambda: "independent") == "independent"
+    assert snapshot.cached_routes(("k",), lambda: None) == "original"
+
+
+def test_snapshot_from_bytes_rejects_foreign_payloads():
+    with pytest.raises(LabelingError):
+        snapshot_from_bytes(pickle.dumps({"not": "a snapshot"}))
+
+
+# ----------------------------------------------------------- read interface
+def test_snapshot_mirrors_sd_index_reads(seed_trajectories):
+    snapshot = HistorySnapshot.build(seed_trajectories)
+    assert len(snapshot.group(1, 10)) == 7
+    assert snapshot.group(1, 10, time_slot=0)  # all start at t=0 -> slot 0
+    assert snapshot.group(1, 10, time_slot=13) == []
+    assert snapshot.group(99, 98) == []
+    probe = make(500, [20, 29, 30], start=0.0)
+    assert len(snapshot.group_for(probe)) == 4
+    # A slot with no history falls back to the pair's full history.
+    late = make(501, [20, 29, 30], start=13 * 3600.0)
+    assert len(snapshot.group_for(late)) == 4
+    assert snapshot.sd_pairs() == [(1, 10), (20, 30)]
+    assert snapshot.segment_universe() == {1, 2, 3, 4, 10, 20, 21, 30}
+    assert sorted(t.trajectory_id for t in snapshot.trajectories()) == sorted(
+        t.trajectory_id for t in seed_trajectories)
+
+
+# -------------------------------------------------------- pipeline as view
+def test_pipeline_is_a_view_over_the_store(dataset, dataset_split):
+    train, _, test = dataset_split
+    pipeline = PreprocessingPipeline(dataset.network, train[:100],
+                                     LabelingConfig(alpha=0.35, delta=0.25))
+    assert pipeline.history.version == 1
+    assert pipeline.store.current() is pipeline.history
+    assert len(pipeline.sd_index) == 100
+    snapshot = pipeline.extend_history(train[100:120])
+    assert snapshot.version == 2
+    assert pipeline.history is snapshot
+    assert len(pipeline.sd_index) == 120
+
+
+def test_pipeline_with_history_shares_vocabulary(dataset, dataset_split):
+    train, _, test = dataset_split
+    pipeline = PreprocessingPipeline(dataset.network, train[:100],
+                                     LabelingConfig(alpha=0.35, delta=0.25))
+    old = pipeline.history
+    pipeline.extend_history(train[100:150])
+    view = pipeline.with_history(old)
+    assert view.vocabulary is pipeline.vocabulary
+    assert view.network is pipeline.network
+    assert view.history is old
+    assert view.history.version == 1
+    # The view resolves against the old snapshot; the original moved on.
+    trajectory = test[0]
+    assert (view.statistics_for(trajectory)
+            is not pipeline.statistics_for(trajectory))
+
+
+def test_pipeline_load_history_repins_future_resolutions(dataset,
+                                                         dataset_split):
+    train, _, test = dataset_split
+    pipeline = PreprocessingPipeline(dataset.network, train[:100],
+                                     LabelingConfig(alpha=0.35, delta=0.25))
+    old = pipeline.history
+    refreshed = old.extended(train[100:150], version=9)
+    pipeline.load_history(refreshed)
+    assert pipeline.history.version == 9
+    # Explicit pinning still reaches the old snapshot.
+    trajectory = test[0]
+    old_stats = pipeline.statistics_for(trajectory, history=old)
+    new_stats = pipeline.statistics_for(trajectory)
+    assert old_stats is not new_stats
+
+
+def test_pipeline_rejects_conflicting_history_arguments(dataset,
+                                                        dataset_split):
+    train, _, _ = dataset_split
+    snapshot = HistorySnapshot.build(train[:10], slots_per_day=24)
+    with pytest.raises(LabelingError):
+        PreprocessingPipeline(dataset.network, train[:10],
+                              history=snapshot)
+    with pytest.raises(LabelingError):
+        PreprocessingPipeline(dataset.network, history="bogus")
+    mismatched = HistorySnapshot.build(train[:10], slots_per_day=12)
+    with pytest.raises(LabelingError):
+        PreprocessingPipeline(dataset.network, history=mismatched)
+    pipeline = PreprocessingPipeline(dataset.network, history=snapshot)
+    assert pipeline.history is snapshot
+    with pytest.raises(LabelingError):
+        pipeline.with_history(mismatched)
+    with pytest.raises(LabelingError):
+        pipeline.with_history(42)
+
+
+def test_extend_drops_query_derived_fallback_entries(dataset, dataset_split):
+    """A no-history SD pair's statistics are derived from the query
+    trajectory and memoized for within-version determinism — but a refresh
+    must reset them (the pre-refresh pipeline cleared its caches wholesale),
+    or the first query ever seen would define that pair's 'normal route'
+    forever."""
+    from repro.trajectory import MatchedTrajectory
+
+    train, _, test = dataset_split
+    pipeline = PreprocessingPipeline(dataset.network, train[:100],
+                                     LabelingConfig(alpha=0.35, delta=0.25))
+    segments = test[0].segments
+    ghost = MatchedTrajectory(9001, [segments[0], segments[1]],
+                              start_time_s=0.0)
+    assert pipeline.sd_group(ghost.source, ghost.destination) == []
+    first = pipeline.statistics_for(ghost)
+    assert pipeline.statistics_for(ghost) is first  # memoized within version
+    pipeline.extend_history(train[100:110])  # unrelated pairs
+    after = pipeline.statistics_for(ghost)
+    assert after is not first  # the refresh reset the fallback entry
+    # Pure (non-fallback) entries of untouched pairs still carry forward —
+    # that is the structural-sharing win the fallback rule must not break.
+    touched = {(t.source, t.destination) for t in train[100:110]}
+    untouched = next(t for t in test
+                     if (t.source, t.destination) not in touched
+                     and pipeline.sd_group(t.source, t.destination,
+                                           t.start_time_s))
+    cached = pipeline.statistics_for(untouched)
+    pipeline.extend_history(train[110:112])
+    still_untouched = {(t.source, t.destination) for t in train[110:112]}
+    if (untouched.source, untouched.destination) not in still_untouched:
+        assert pipeline.statistics_for(untouched) is cached

@@ -387,3 +387,192 @@ def test_service_ingest_many_validates_segments(trained_model, dataset_split):
         with pytest.raises(ServiceError):
             service.ingest_many(
                 [IngestEvent("cab", test[0].segments[0], None, 0.0, None)])
+
+
+# ----------------------------------------------- wall-clock session timeouts
+def test_advance_clock_closes_idle_sessions(trained_model, dataset,
+                                            dataset_split, offline_matcher):
+    """A vehicle that simply stops reporting is closed by the wall clock —
+    no later fix, no explicit end — and labels exactly like an ended one."""
+    _, _, test = dataset_split
+    raw = clean_raws(dataset, [test[0]], seed=31)[0]
+    config = GatewayConfig(reorder_window=0, session_timeout_s=120.0,
+                           ingest_batch=4)
+
+    reference, _ = run_gateway(trained_model, offline_matcher, [raw],
+                               config=config, num_shards=1)
+
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher, config)
+        for position, point in enumerate(raw.points):
+            assert gateway.push_point(
+                0, point,
+                start_time_s=raw.start_time_s if position == 0 else None) == []
+        last_abs = raw.start_time_s + raw.points[-1].t
+        # Within the timeout: nothing closes.
+        assert gateway.advance_clock(last_abs + 60.0) == []
+        assert gateway.active_vehicles == [0]
+        sessions = gateway.advance_clock(last_abs + 121.0)
+        stats = gateway.stats()
+    assert [s.result.labels for s in sessions] == \
+        [r.labels for r in reference[0]]
+    assert stats.session_timeouts == 1
+    assert stats.sessions_closed == 1
+    assert gateway.active_vehicles == []  # the vehicle was forgotten
+
+
+def test_advance_clock_defaults_timeout_to_session_gap(trained_model, dataset,
+                                                       dataset_split,
+                                                       offline_matcher):
+    _, _, test = dataset_split
+    raw = clean_raws(dataset, [test[1]], seed=32)[0]
+    config = GatewayConfig(reorder_window=0, session_gap_s=300.0,
+                           ingest_batch=4)
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher, config)
+        for position, point in enumerate(raw.points):
+            gateway.push_point(
+                0, point,
+                start_time_s=raw.start_time_s if position == 0 else None)
+        last_abs = raw.start_time_s + raw.points[-1].t
+        assert gateway.advance_clock(last_abs + 299.0) == []
+        sessions = gateway.advance_clock(last_abs + 301.0)
+        assert len(sessions) == 1
+        assert gateway.stats().session_timeouts == 1
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(session_timeout_s=-1.0).validate()
+
+
+def test_advance_clock_flushes_the_reorder_buffer(trained_model, dataset,
+                                                  dataset_split,
+                                                  offline_matcher):
+    """Fixes still sitting in the reorder buffer at timeout are delivered
+    before the session closes — the timeout loses no data."""
+    _, _, test = dataset_split
+    raw = clean_raws(dataset, [test[2]], seed=33)[0]
+    config = GatewayConfig(reorder_window=6, session_timeout_s=60.0,
+                           ingest_batch=4)
+    reference, _ = run_gateway(trained_model, offline_matcher, [raw],
+                               config=config, num_shards=1)
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher, config)
+        for position, point in enumerate(raw.points):
+            gateway.push_point(
+                0, point,
+                start_time_s=raw.start_time_s if position == 0 else None)
+        assert gateway.stats().reorder_buffered > 0
+        last_abs = raw.start_time_s + raw.points[-1].t
+        sessions = gateway.advance_clock(last_abs + 61.0)
+    assert [s.result.labels for s in sessions] == \
+        [r.labels for r in reference[0]]
+
+
+# --------------------------------------------------- vehicle-state eviction
+def test_max_vehicles_evicts_least_recently_active(trained_model, dataset,
+                                                   dataset_split,
+                                                   offline_matcher):
+    """The vehicle bound closes the least recently active vehicle to admit a
+    new one — its session result surfaces instead of being dropped — and
+    bounds the matcher's session map with it."""
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:3], seed=34)
+    config = GatewayConfig(reorder_window=0, max_vehicles=2, ingest_batch=4)
+    reference, _ = run_gateway(trained_model, offline_matcher, [raws[0]],
+                               config=config, num_shards=1)
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher, config)
+        for vehicle, raw in enumerate(raws[:2]):
+            for position, point in enumerate(raw.points):
+                # Interleave-free: vehicle 0 finishes first => least recent.
+                gateway.push_point(
+                    vehicle, point,
+                    start_time_s=raw.start_time_s if position == 0 else None)
+        assert sorted(gateway.active_vehicles) == [0, 1]
+        evicted = gateway.push_point(2, raws[2].points[0],
+                                     start_time_s=raws[2].start_time_s)
+        stats = gateway.stats()
+        assert stats.vehicles_evicted == 1
+        assert sorted(gateway.active_vehicles) == [1, 2]
+        assert len(gateway.matcher.active_sessions) <= 2
+        gateway.end_all()
+    assert [s.result.labels for s in evicted] == \
+        [r.labels for r in reference[0]]
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(max_vehicles=-1).validate()
+
+
+def test_unbounded_gateway_never_evicts(trained_model, dataset, dataset_split,
+                                        offline_matcher):
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:6], seed=35)
+    outputs, stats = run_gateway(trained_model, offline_matcher, raws,
+                                 num_shards=1)
+    assert stats.vehicles_evicted == 0
+    assert stats.session_timeouts == 0
+    assert "vehicles evicted" in stats.format()
+
+
+# ------------------------------------------------- map-matching confidence
+def test_session_results_carry_match_confidence(trained_model, dataset,
+                                                dataset_split,
+                                                offline_matcher):
+    """Clean sessions score a usable confidence in (0, 1]; the noisier the
+    trace, the lower the score — the filtering signal downstream wants."""
+    _, _, test = dataset_split
+    trajectory = max(test, key=len)
+    clean = clean_raws(dataset, [trajectory], seed=36, noise=0.5)
+    noisy = clean_raws(dataset, [trajectory], seed=36, noise=20.0)
+    confidences = {}
+    for name, raws in (("clean", clean), ("noisy", noisy)):
+        with trained_model.detection_service(num_shards=1) as service:
+            gateway = GpsGateway(service, offline_matcher)
+            outputs = []
+            for position, point in enumerate(raws[0].points):
+                outputs.extend(gateway.push_point(
+                    0, point,
+                    start_time_s=raws[0].start_time_s if position == 0
+                    else None))
+            outputs.extend(gateway.end(0))
+            confidences[name] = [s.confidence for s in outputs]
+    assert all(0.0 < c <= 1.0 for c in confidences["clean"])
+    assert max(confidences["noisy"]) < max(confidences["clean"])
+    # The session result mirrors the match summary exactly.
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher)
+        sessions = []
+        for position, point in enumerate(clean[0].points):
+            sessions.extend(gateway.push_point(
+                0, point,
+                start_time_s=clean[0].start_time_s if position == 0 else None))
+        sessions.extend(gateway.end(0))
+    (session,) = sessions
+    assert session.confidence == session.match.confidence
+
+
+def test_confidence_is_normalized_against_the_perfect_decode(
+        dataset, offline_matcher):
+    """A near-noiseless trace scores close to 1 (not a sliver above 0 — the
+    ceiling normalization cancels the Gaussian constants), a broken or
+    empty session scores exactly 0."""
+    from repro.mapmatching import OnlineMapMatcher
+    from repro.mapmatching.online import OnlineMatchResult
+    from repro.datagen import sample_gps_trace
+
+    rng = np.random.default_rng(40)
+    truth = dataset.trajectories[0]
+    raw = sample_gps_trace(dataset.network, truth.segments,
+                           truth.start_time_s, rng, gps_noise_m=0.1)
+    online = OnlineMapMatcher(offline_matcher, max_pending=64)
+    for point in raw.points:
+        online.push("s", point)
+    match = online.finish("s")
+    assert match.succeeded
+    assert match.confidence > 0.5  # near-perfect fixes -> near-ceiling score
+    broken = OnlineMatchResult(route=[1, 2], log_likelihood=-10.0,
+                               points_matched=2, forced_commits=0,
+                               max_commit_lag=0, broken=True)
+    assert broken.confidence == 0.0  # finish() never scores a broken decode
+    empty = OnlineMatchResult(route=[], log_likelihood=-10.0,
+                              points_matched=0, forced_commits=0,
+                              max_commit_lag=0)
+    assert empty.confidence == 0.0
