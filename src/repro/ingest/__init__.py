@@ -17,12 +17,24 @@ incremental map matching
   matching summary and a map-matching confidence score).
 * :func:`serve_raw_fleet` — replay raw-trajectory workloads through a
   gateway (the differential-test and benchmark driver).
+* :class:`ShardMatcherPlane` / :class:`MatcherPlaneFactory` — the parallel
+  matcher plane behind ``GatewayConfig(matcher_placement="shard")``: one
+  online matcher per detection-service shard, fed through the shard's own
+  FIFO (:class:`MatchPush` / :class:`MatchFinish` / :class:`SessionClose`),
+  so matching scales with shards instead of capping them at the facade.
 """
 
 from .gateway import GpsGateway, SessionResult, serve_raw_fleet
+from .shardmatch import (MatcherPlaneFactory, MatchFinish, MatchPush,
+                         SessionClose, ShardMatcherPlane)
 
 __all__ = [
     "GpsGateway",
     "SessionResult",
     "serve_raw_fleet",
+    "MatchPush",
+    "MatchFinish",
+    "SessionClose",
+    "ShardMatcherPlane",
+    "MatcherPlaneFactory",
 ]

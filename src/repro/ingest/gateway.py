@@ -62,6 +62,7 @@ from ..serve.backends import IngestEvent
 from ..serve.metrics import GatewayStats, ServiceMetrics
 from ..serve.service import DetectionService
 from ..trajectory.models import GPSPoint, RawTrajectory
+from .shardmatch import MatcherPlaneFactory, MatchFinish, MatchPush
 
 
 class SessionResult(NamedTuple):
@@ -94,6 +95,7 @@ class _SessionState:
     last_point_t: float
     opened: bool = False            # the service stream exists
     segments_forwarded: int = 0
+    pushes: int = 0                 # fixes sent to a shard matcher plane
     trajectory_id: Optional[int] = None
 
 
@@ -133,14 +135,24 @@ class GpsGateway:
                 "matcher must be an OnlineMapMatcher or an HMMMapMatcher, "
                 f"got {type(matcher).__name__}")
         self._vehicles: Dict[Hashable, _VehicleState] = {}
-        # Buffered batched ingest events, grouped by shard: each shard's
-        # group is delivered atomically and dropped once delivered, so a
-        # flush interrupted by an exhausted retry budget can be retried
-        # without ever re-sending (duplicating) a delivered batch.
-        self._pending: Dict[int, List[IngestEvent]] = {}
+        # Buffered batched ingest events (facade placement) or MatchPush
+        # commands (shard placement), grouped by shard: each shard's group
+        # is delivered atomically and dropped once delivered, so a flush
+        # interrupted by an exhausted retry budget can be retried without
+        # ever re-sending (duplicating) a delivered batch.
+        self._pending: Dict[int, List] = {}
         self._pending_count = 0
         self._next_trajectory_id = 0
         self._stats = GatewayStats()
+        self._placement = self._config.matcher_placement
+        if self._placement == "shard":
+            # One OnlineMapMatcher per shard worker, installed as the
+            # service's work plane; the facade-side matcher built above is
+            # kept only as the template (network, config, window) the
+            # factory replicates — it never matches a fix itself.
+            service.install_plane(MatcherPlaneFactory(
+                self._matcher.matcher,
+                max_pending=self._matcher.max_pending))
 
     # ------------------------------------------------------------ properties
     @property
@@ -149,6 +161,14 @@ class GpsGateway:
 
     @property
     def matcher(self) -> OnlineMapMatcher:
+        """The facade-side online matcher.
+
+        With ``matcher_placement="facade"`` (the default) this is the
+        matcher every fix runs through. With ``"shard"`` placement it is
+        only the template the per-shard matchers were built from — live
+        lattices and commit statistics then live shard-side (see
+        :meth:`stats` / :meth:`commit_latency`, which merge them).
+        """
         return self._matcher
 
     @property
@@ -228,9 +248,7 @@ class GpsGateway:
             state.last_released_t = point.t
             results.extend(self._deliver(vehicle_id, state, point))
         if state.session is not None:
-            result = self._close_session(state)
-            if result is not None:
-                results.append(result)
+            results.extend(self._close_session(state))
         return results
 
     def end_all(self) -> List[SessionResult]:
@@ -264,7 +282,12 @@ class GpsGateway:
         explicit :meth:`end`. Call it from whatever periodic tick the host
         application already runs.
         """
-        timeout = self._config.session_timeout_s or self._config.session_gap_s
+        # `is None`, not truthiness: GatewayConfig.validate rejects
+        # non-positive timeouts, and an explicit value must never silently
+        # fall back to the gap.
+        timeout = self._config.session_timeout_s
+        if timeout is None:
+            timeout = self._config.session_gap_s
         results: List[SessionResult] = []
         for vehicle_id in list(self._vehicles):
             state = self._vehicles[vehicle_id]
@@ -280,30 +303,48 @@ class GpsGateway:
         return self._service.pump()
 
     def flush(self) -> None:
-        """Push any buffered batched ingest events into the service now."""
+        """Push any buffered work into the service now.
+
+        Facade placement flushes batched ingest events; shard placement
+        flushes buffered :class:`~repro.ingest.shardmatch.MatchPush`
+        commands to their shard matchers. Either way each shard's group is
+        one all-or-nothing batch.
+        """
         if not self._pending:
             return
         for shard in list(self._pending):
-            events = self._pending.pop(shard)
-            self._pending_count -= len(events)
+            batch = self._pending.pop(shard)
+            self._pending_count -= len(batch)
             try:
-                self._service.ingest_many(
-                    events,
-                    max_retries=self._config.max_retries,
-                    retry_wait_s=self._config.retry_wait_s)
+                if self._placement == "shard":
+                    self._service.plane_send_many(
+                        shard, batch,
+                        max_retries=self._config.max_retries,
+                        retry_wait_s=self._config.retry_wait_s)
+                else:
+                    self._service.ingest_many(
+                        batch,
+                        max_retries=self._config.max_retries,
+                        retry_wait_s=self._config.retry_wait_s)
             except BaseException:
                 # Nothing of this single-shard batch was queued: put it
                 # back so a retried flush re-sends exactly the undelivered
                 # events and nothing else.
-                self._pending[shard] = events + self._pending.get(shard, [])
-                self._pending_count += len(events)
+                self._pending[shard] = batch + self._pending.get(shard, [])
+                self._pending_count += len(batch)
                 raise
         self._stats.batched_flushes += 1
 
     # -------------------------------------------------------------- metrics
     def stats(self) -> GatewayStats:
-        """A point-in-time snapshot of the gateway's input funnel."""
-        matcher = self._matcher
+        """A point-in-time snapshot of the gateway's input funnel.
+
+        With shard placement the match-driven half of the funnel (matched
+        points, unmatchable drops, emitted segments, session closes,
+        commit statistics) lives on the shard matchers; it is folded into
+        the facade's counters here so the dashboard reads the same either
+        way.
+        """
         stats = GatewayStats(**{
             name: getattr(self._stats, name)
             for name in ("raw_points", "matched_points", "segments_emitted",
@@ -312,10 +353,30 @@ class GpsGateway:
                          "sessions_closed", "sessions_dropped",
                          "sessions_broken", "gap_splits", "session_timeouts",
                          "vehicles_evicted", "batched_flushes")})
-        stats.commits = matcher.commits
-        stats.forced_commits = matcher.forced_commits
-        stats.max_commit_lag = matcher.max_commit_lag
-        stats.mean_commit_lag = matcher.mean_commit_lag
+        if self._placement == "shard":
+            commits = forced = lag_sum = 0
+            for plane in self._service.plane_stats():
+                stats.matched_points += plane.matched_points
+                stats.unmatched_dropped += plane.unmatched_dropped
+                stats.segments_emitted += plane.segments_emitted
+                stats.sessions_opened += plane.sessions_reopened
+                stats.sessions_closed += plane.sessions_closed
+                stats.sessions_dropped += plane.sessions_dropped
+                stats.sessions_broken += plane.sessions_broken
+                commits += plane.commits
+                forced += plane.forced_commits
+                lag_sum += plane.commit_lag_sum
+                stats.max_commit_lag = max(stats.max_commit_lag,
+                                           plane.max_commit_lag)
+            stats.commits = commits
+            stats.forced_commits = forced
+            stats.mean_commit_lag = lag_sum / commits if commits else 0.0
+        else:
+            matcher = self._matcher
+            stats.commits = matcher.commits
+            stats.forced_commits = matcher.forced_commits
+            stats.max_commit_lag = matcher.max_commit_lag
+            stats.mean_commit_lag = matcher.mean_commit_lag
         stats.reorder_buffered = sum(len(state.buffer)
                                      for state in self._vehicles.values())
         return stats
@@ -324,10 +385,17 @@ class GpsGateway:
         """The service's fleet dashboard with this gateway's funnel attached."""
         metrics = self._service.metrics()
         metrics.gateway = self.stats()
+        if self._placement == "shard":
+            metrics.matchers = self._service.plane_stats()
         return metrics
 
     def commit_latency(self) -> LatencyReport:
         """Distribution of per-fix commit lag (in follow-up points)."""
+        if self._placement == "shard":
+            samples: List[int] = []
+            for plane in self._service.plane_stats():
+                samples.extend(plane.commit_lag_samples)
+            return LatencyReport(name="GpsGateway", samples=samples)
         return LatencyReport(name="GpsGateway",
                              samples=list(self._matcher.commit_lag_samples))
 
@@ -375,9 +443,7 @@ class GpsGateway:
         if (session is not None
                 and point.t - session.last_point_t > self._config.session_gap_s):
             self._stats.gap_splits += 1
-            result = self._close_session(state)
-            if result is not None:
-                results.append(result)
+            results.extend(self._close_session(state))
             session = None
         if session is None:
             session = _SessionState(
@@ -389,6 +455,12 @@ class GpsGateway:
             state.session = session
             self._stats.sessions_opened += 1
         session.last_point_t = point.t
+        if self._placement == "shard":
+            # Everything match-driven happens on the session's shard; the
+            # facade only batches the fix over (lattice breaks split the
+            # trip plane-side — see repro.ingest.shardmatch).
+            self._push_match(state, session, point)
+            return results
         try:
             emitted = self._matcher.push(session.key, point)
         except UnmatchablePointError:
@@ -397,15 +469,32 @@ class GpsGateway:
         except MatchBreakError:
             # The lattice cannot continue through this fix: end the session
             # at its committed prefix and restart matching from the fix.
-            result = self._close_session(state, broken=True)
-            if result is not None:
-                results.append(result)
+            results.extend(self._close_session(state, broken=True))
             results.extend(self._deliver(vehicle_id, state, point))
             return results
         self._stats.matched_points += 1
         for segment in emitted:
             self._forward(session, segment)
         return results
+
+    def _push_match(self, state: _VehicleState, session: _SessionState,
+                    point: GPSPoint) -> None:
+        """Batch one released fix to the session's shard matcher."""
+        if session.pushes == 0:
+            # The session-opening push carries the facade-only metadata the
+            # plane needs to stamp the streams it opens.
+            session.trajectory_id = self._next_trajectory_id
+            self._next_trajectory_id += 1
+            push = MatchPush(session.key, point, state.time_origin,
+                             session.trajectory_id)
+        else:
+            push = MatchPush(session.key, point)
+        session.pushes += 1
+        shard = self._service.shard_for(session.key)
+        self._pending.setdefault(shard, []).append(push)
+        self._pending_count += 1
+        if self._pending_count >= self._config.ingest_batch:
+            self.flush()
 
     def _forward(self, session: _SessionState, segment: int) -> None:
         """Send one committed segment of one session into the service."""
@@ -435,10 +524,36 @@ class GpsGateway:
         self._stats.segments_emitted += 1
 
     def _close_session(self, state: _VehicleState,
-                       broken: bool = False) -> Optional[SessionResult]:
-        """Finish the vehicle's current session; ``None`` when it was empty."""
+                       broken: bool = False) -> List[SessionResult]:
+        """Finish the vehicle's current session.
+
+        Facade placement yields at most one result (empty when not a single
+        fix could be matched); shard placement can yield several — one per
+        generation the shard matcher split the session into at lattice
+        breaks the facade never saw.
+        """
         session = state.session
         state.session = None
+        if self._placement == "shard":
+            if session.pushes == 0:  # pragma: no cover - defensive
+                self._stats.sessions_dropped += 1
+                return []
+            # Flush so every buffered fix of this session reaches its shard
+            # before the (FIFO-ordered) finish request.
+            self.flush()
+            shard = self._service.shard_for(session.key)
+            closes = self._service.plane_request(
+                shard, MatchFinish(session.key))
+            return [
+                SessionResult(
+                    vehicle_id=session.key[0],
+                    session_key=session.key,
+                    result=close.result,
+                    match=close.match,
+                    confidence=(close.match.confidence
+                                if close.match is not None else 0.0))
+                for close in closes
+            ]
         match: Optional[OnlineMatchResult] = None
         if self._matcher.has_session(session.key):
             if broken:
@@ -454,15 +569,15 @@ class GpsGateway:
         if not session.opened:
             # Not a single fix of this session could be matched.
             self._stats.sessions_dropped += 1
-            return None
+            return []
         self.flush()
         result = self._service.finalize(session.key)
         self._stats.sessions_closed += 1
-        return SessionResult(vehicle_id=session.key[0],
-                             session_key=session.key,
-                             result=result, match=match,
-                             confidence=(match.confidence
-                                         if match is not None else 0.0))
+        return [SessionResult(vehicle_id=session.key[0],
+                              session_key=session.key,
+                              result=result, match=match,
+                              confidence=(match.confidence
+                                          if match is not None else 0.0))]
 
 
 def serve_raw_fleet(
@@ -492,22 +607,34 @@ def serve_raw_fleet(
             index, trajectory = backlog.pop()
             vehicle = next_vehicle
             next_vehicle += 1
-            gateway.push_point(vehicle, trajectory.points[0],
-                               start_time_s=trajectory.start_time_s)
+            # Register the vehicle *before* its first push: when the push
+            # evicts another vehicle (gateway max_vehicles), the evictee's
+            # finished sessions come back here and must be routed to *its*
+            # slot — dropping them was the result-loss bug this loop had.
             active[vehicle] = (index, 1)
+            for session in gateway.push_point(
+                    vehicle, trajectory.points[0],
+                    start_time_s=trajectory.start_time_s):
+                owner_index, _ = active[session.vehicle_id]
+                results[owner_index].append(session.result)
         finished: List[int] = []
         for vehicle, (index, cursor) in active.items():
             trajectory = raw_trajectories[index]
             if cursor < len(trajectory.points):
                 for session in gateway.push_point(
                         vehicle, trajectory.points[cursor]):
-                    results[index].append(session.result)
+                    owner_index, _ = active[session.vehicle_id]
+                    results[owner_index].append(session.result)
                 active[vehicle] = (index, cursor + 1)
             else:
                 finished.append(vehicle)
         gateway.pump()
         for vehicle in finished:
             index, _ = active.pop(vehicle)
+            # A vehicle bound (max_vehicles) may have evicted this vehicle
+            # after its last fix; its sessions already surfaced then.
+            if vehicle not in gateway.active_vehicles:
+                continue
             for session in gateway.end(vehicle):
                 results[index].append(session.result)
     return results

@@ -8,6 +8,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..config import MapMatchingConfig
 from ..exceptions import (DisconnectedRouteError, MapMatchingError)
 from ..roadnet.graph import RoadNetwork
@@ -15,7 +17,8 @@ from ..roadnet.shortest_path import dijkstra_route
 from ..roadnet.spatial import SpatialIndex
 from ..trajectory.models import MatchedTrajectory, RawTrajectory
 from .emission import gaussian_emission_log_prob
-from .transition import transition_log_prob
+
+_NEG_INF = float("-inf")
 
 
 class SegmentPairDistanceCache:
@@ -60,6 +63,28 @@ class SegmentPairDistanceCache:
             return distance
         self.misses += 1
         return None
+
+    def lookup_many(self, keys: Sequence[Tuple[int, int]]) -> List[Optional[float]]:
+        """Batched :meth:`lookup`: one list in, one list out (``None`` marks
+        a miss). One pass over locally-bound dict methods instead of a
+        method call per pair — the cache half of the vectorized Viterbi
+        column update (:meth:`HMMMapMatcher.viterbi_step`). Hit/miss
+        accounting and LRU recency updates are identical to calling
+        :meth:`lookup` per key, in order."""
+        distances = self._distances
+        get = distances.get
+        touch = distances.move_to_end
+        out: List[Optional[float]] = []
+        hits = 0
+        for key in keys:
+            distance = get(key)
+            if distance is not None:
+                touch(key)
+                hits += 1
+            out.append(distance)
+        self.hits += hits
+        self.misses += len(keys) - hits
+        return out
 
     def store(self, key: Tuple[int, int], distance: float) -> None:
         self._distances[key] = distance
@@ -176,6 +201,62 @@ class HMMMapMatcher:
         self._distance_cache.store(key, distance)
         return distance
 
+    def viterbi_step(
+        self,
+        previous_scores: Sequence[float],
+        from_segments: Sequence[int],
+        candidates: Sequence[Tuple[int, float]],
+        straight_m: float,
+    ) -> Tuple[List[float], List[int]]:
+        """One vectorized Viterbi column update, bit-identical to the scalar
+        loop it replaces.
+
+        Given the previous column (``previous_scores`` per ``from_segments``
+        candidate) and the new fix's ``candidates`` (``(segment, distance)``
+        pairs) at straight-line displacement ``straight_m``, returns the new
+        column's ``(scores, backpointers)``. The network distances of every
+        (from, to) pair are fetched in one batched pass through the
+        :class:`SegmentPairDistanceCache` (misses filled by the bounded
+        Dijkstra, in the same access order as the scalar loop, so hit/miss
+        accounting and LRU eviction are unchanged); emission + transition
+        scoring and the per-candidate argmax then run as one ``numpy``
+        matrix expression instead of a nested Python loop. Tie-breaks match
+        the scalar loop (first maximum), unreachable or pruned predecessors
+        surface as backpointer ``-1`` with a ``-inf`` score — this is the
+        shared inner step of both the offline :meth:`match` Viterbi and the
+        incremental :class:`~repro.mapmatching.online.OnlineMapMatcher`.
+        """
+        config = self._config
+        keys = [(from_segment, to_segment)
+                for to_segment, _ in candidates
+                for from_segment in from_segments]
+        distances = self._distance_cache.lookup_many(keys)
+        for index, value in enumerate(distances):
+            if value is None:
+                from_segment, to_segment = keys[index]
+                value = (0.0 if from_segment == to_segment
+                         else self._bounded_dijkstra(from_segment, to_segment))
+                self._distance_cache.store((from_segment, to_segment), value)
+                distances[index] = value
+        network = np.array(distances, dtype=np.float64).reshape(
+            len(candidates), len(from_segments))
+        emissions = np.array(
+            [gaussian_emission_log_prob(distance, config.gps_sigma_m)
+             for _, distance in candidates], dtype=np.float64)
+        # Same expression tree as the scalar transition_log_prob + total:
+        # (prev + (-|straight - network| / beta - log beta)) + emission,
+        # elementwise IEEE float64 throughout, so scores are bit-identical.
+        delta = np.abs(straight_m - network)
+        transitions = -delta / config.transition_beta \
+            - math.log(config.transition_beta)
+        previous = np.asarray(previous_scores, dtype=np.float64)
+        totals = (previous[None, :] + transitions) + emissions[:, None]
+        best = np.argmax(totals, axis=1)  # first maximum, like the `>` loop
+        scores = totals[np.arange(len(candidates)), best]
+        viable = scores != _NEG_INF
+        return (scores.tolist(),
+                np.where(viable, best, -1).tolist())
+
     # ------------------------------------------------------------ internals
     def _candidates(self, trajectory: RawTrajectory) -> List[List[Tuple[int, float]]]:
         """Candidate (segment, distance) lists for every GPS point."""
@@ -231,26 +312,9 @@ class HMMMapMatcher:
             previous_point, point = points[i - 1], points[i]
             straight = math.hypot(point.x - previous_point.x,
                                   point.y - previous_point.y)
-            current_scores = []
-            current_back = []
-            for to_segment, to_distance in candidates_per_point[i]:
-                emission = gaussian_emission_log_prob(to_distance, config.gps_sigma_m)
-                best_score = float("-inf")
-                best_prev = -1
-                for k, (from_segment, _) in enumerate(candidates_per_point[i - 1]):
-                    if scores[i - 1][k] == float("-inf"):
-                        continue
-                    network_distance = self.network_distance(from_segment, to_segment)
-                    if network_distance == float("inf"):
-                        continue
-                    transition = transition_log_prob(
-                        straight, network_distance, config.transition_beta)
-                    total = scores[i - 1][k] + transition + emission
-                    if total > best_score:
-                        best_score = total
-                        best_prev = k
-                current_scores.append(best_score)
-                current_back.append(best_prev)
+            from_segments = [segment for segment, _ in candidates_per_point[i - 1]]
+            current_scores, current_back = self.viterbi_step(
+                scores[i - 1], from_segments, candidates_per_point[i], straight)
             scores.append(current_scores)
             backpointers.append(current_back)
             if all(score == float("-inf") for score in current_scores):

@@ -42,6 +42,7 @@ stream-side caller (the ingest gateway) can drop the fix or split the trip.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -51,12 +52,13 @@ from ..roadnet.shortest_path import dijkstra_route
 from ..trajectory.models import GPSPoint
 from .emission import gaussian_emission_log_prob
 from .hmm import HMMMapMatcher
-from .transition import transition_log_prob
 
 _NEG_INF = float("-inf")
 
-#: Commit-lag samples kept per matcher before sampling stops (the running
-#: max / mean keep updating; only the raw distribution is capped).
+#: Commit-lag samples kept per matcher (reservoir size). Beyond this many
+#: commits the reservoir keeps a uniform random sample of *all* lags seen,
+#: so latency percentiles stay representative at soak length instead of
+#: freezing on the startup window.
 _MAX_LAG_SAMPLES = 100_000
 
 
@@ -136,9 +138,12 @@ class OnlineMapMatcher:
     the remainder plus the session summary.
     """
 
-    def __init__(self, matcher: HMMMapMatcher, max_pending: int = 64):
+    def __init__(self, matcher: HMMMapMatcher, max_pending: int = 64,
+                 lag_sample_cap: int = _MAX_LAG_SAMPLES):
         if max_pending < 2:
             raise MapMatchingError("max_pending must be >= 2")
+        if lag_sample_cap < 1:
+            raise MapMatchingError("lag_sample_cap must be >= 1")
         self._matcher = matcher
         self._network = matcher.network
         self._config = matcher.config
@@ -150,6 +155,10 @@ class OnlineMapMatcher:
         self.max_commit_lag = 0
         self.commit_lag_sum = 0
         self.commit_lag_samples: List[int] = []
+        self._lag_sample_cap = lag_sample_cap
+        # Seeded so latency reports are reproducible run to run; the seed
+        # only shuffles which lags the capped reservoir retains.
+        self._lag_rng = random.Random(0x1A6)
 
     # ------------------------------------------------------------ properties
     @property
@@ -212,29 +221,9 @@ class OnlineMapMatcher:
         straight = math.hypot(point.x - previous_point.x,
                               point.y - previous_point.y)
         previous_column = session.columns[-1]
-        previous_scores = session.scores
-        current_scores: List[float] = []
-        current_back: List[int] = []
-        for to_segment, to_distance in candidates:
-            emission = gaussian_emission_log_prob(to_distance,
-                                                  config.gps_sigma_m)
-            best_score = _NEG_INF
-            best_prev = -1
-            for k, (from_segment, _) in enumerate(previous_column.candidates):
-                if previous_scores[k] == _NEG_INF:
-                    continue
-                network_distance = self._matcher.network_distance(
-                    from_segment, to_segment)
-                if network_distance == float("inf"):
-                    continue
-                transition = transition_log_prob(
-                    straight, network_distance, config.transition_beta)
-                total = previous_scores[k] + transition + emission
-                if total > best_score:
-                    best_score = total
-                    best_prev = k
-            current_scores.append(best_score)
-            current_back.append(best_prev)
+        from_segments = [segment for segment, _ in previous_column.candidates]
+        current_scores, current_back = self._matcher.viterbi_step(
+            session.scores, from_segments, candidates, straight)
         if all(score == _NEG_INF for score in current_scores):
             raise MatchBreakError(
                 f"no candidate of GPS fix ({point.x:.1f}, {point.y:.1f}) is "
@@ -389,6 +378,23 @@ class OnlineMapMatcher:
         self.forced_commits += 1
         return emitted
 
+    def _sample_lag(self, lag: int) -> None:
+        """Reservoir-sample one commit lag (Algorithm R).
+
+        Must be called after ``self.commits`` has been incremented for this
+        commit. The first ``lag_sample_cap`` lags fill the reservoir; each
+        later lag replaces a uniformly random slot with probability
+        ``cap / commits``, so ``commit_lag_samples`` stays a uniform sample
+        of every commit ever made — a soak run's latency report reflects the
+        whole run, not just its startup window.
+        """
+        if len(self.commit_lag_samples) < self._lag_sample_cap:
+            self.commit_lag_samples.append(lag)
+            return
+        slot = self._lag_rng.randrange(self.commits)
+        if slot < self._lag_sample_cap:
+            self.commit_lag_samples[slot] = lag
+
     def _commit(self, session: _Session,
                 choices: List[Tuple[_Column, int]]) -> List[int]:
         """Emit chosen candidates through the incremental route connector.
@@ -429,8 +435,7 @@ class OnlineMapMatcher:
             self.max_commit_lag = max(self.max_commit_lag, lag)
             self.commit_lag_sum += lag
             self.commits += 1
-            if len(self.commit_lag_samples) < _MAX_LAG_SAMPLES:
-                self.commit_lag_samples.append(lag)
+            self._sample_lag(lag)
         session.route.extend(emitted)
         if emitted:
             session.route_tail = emitted[-1]

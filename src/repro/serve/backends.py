@@ -27,7 +27,22 @@ the bounded command queue; ``ingest`` and ``ingest_batch`` (one command
 carrying many points — the IPC-amortized path behind
 :meth:`DetectionService.ingest_many`) are fire-and-forget, while ``sync`` /
 ``finalize`` / ``stats`` / ``swap`` / ``stop`` each produce exactly one
-reply ``(kind, payload)`` on the result queue. The single-caller service
+reply ``(kind, payload)`` on the result queue.
+
+**Work planes.** Either backend can additionally host one *plane* per
+shard: an opaque work object built next to the shard's engine by a
+caller-supplied picklable factory (``factory(shard_id, engine) -> plane``)
+and driven through the same per-shard FIFO as ingest. The backend knows
+nothing about what a plane does — it only routes commands to the plane's
+``handle(command)`` (fire-and-forget, like ``ingest``), ``request(command)``
+(one reply) and ``stats()`` duck-typed methods. This is how the raw-GPS
+gateway pushes online map matching into the shard workers
+(:class:`~repro.ingest.shardmatch.ShardMatcherPlane`): matching runs on the
+shard's core and its committed segments flow straight into the colocated
+engine, instead of round-tripping through the facade. Plane commands add
+the worker kinds ``install_plane`` / ``plane_request`` / ``plane_stats``
+(replied) and ``plane`` / ``plane_batch`` (fire-and-forget, errors stashed
+like an ``ingest`` failure). The single-caller service
 never pipelines two replied commands at once, so replies cannot interleave.
 Because the queue is FIFO, every point that is *eligible for labeling* by
 the time a ``swap`` command (a :class:`ControlUpdate` carrying new weights,
@@ -163,6 +178,36 @@ class ServiceBackend:
     def stats(self) -> List[ShardStats]:
         raise NotImplementedError
 
+    # ----------------------------------------------------------- work planes
+    def install_plane(self, factory) -> None:
+        """Build one plane per shard: ``factory(shard_id, engine) -> plane``.
+
+        The factory must be picklable for the process backend (each worker
+        calls it beside its own engine). See the module docstring for the
+        plane contract.
+        """
+        raise NotImplementedError
+
+    def plane_send(self, shard: int, command) -> bool:
+        """Route one fire-and-forget command to a shard's plane.
+
+        ``False`` means the shard's queue is full and nothing was sent (the
+        in-process backend executes synchronously and never refuses).
+        """
+        raise NotImplementedError
+
+    def plane_send_batch(self, shard: int, commands: Sequence) -> bool:
+        """Several plane commands as one queued command, all-or-nothing."""
+        raise NotImplementedError
+
+    def plane_request(self, shard: int, command):
+        """Send one replied command to a shard's plane, return its answer."""
+        raise NotImplementedError
+
+    def plane_stats(self) -> List:
+        """Every shard plane's ``stats()`` snapshot, in shard order."""
+        raise NotImplementedError
+
     def close(self) -> None:
         raise NotImplementedError
 
@@ -176,6 +221,7 @@ class _InProcessShard:
         self.queue: Deque[IngestEvent] = deque()
         self.busy_seconds = 0.0
         self.swaps = 0
+        self.plane = None
 
     def dispatch(self) -> None:
         """Apply every queued event to the engine (cheap: just buffering)."""
@@ -286,6 +332,53 @@ class InProcessBackend(ServiceBackend):
             ))
         return snapshots
 
+    # ----------------------------------------------------------- work planes
+    def install_plane(self, factory) -> None:
+        for state in self._shards:
+            state.plane = factory(state.shard_id, state.engine)
+
+    def _plane(self, shard: int):
+        plane = self._shards[shard].plane
+        if plane is None:
+            raise ServiceError(f"no plane installed on shard {shard}")
+        return plane
+
+    def plane_send(self, shard: int, command) -> bool:
+        # The in-process backend has no worker to defer to: the command runs
+        # right here (on the shard's busy clock) and can never be refused.
+        state = self._shards[shard]
+        plane = self._plane(shard)
+        started = time.perf_counter()
+        try:
+            plane.handle(command)
+        finally:
+            state.busy_seconds += time.perf_counter() - started
+        return True
+
+    def plane_send_batch(self, shard: int, commands: Sequence) -> bool:
+        state = self._shards[shard]
+        plane = self._plane(shard)
+        started = time.perf_counter()
+        try:
+            for command in commands:
+                plane.handle(command)
+        finally:
+            state.busy_seconds += time.perf_counter() - started
+        return True
+
+    def plane_request(self, shard: int, command):
+        state = self._shards[shard]
+        plane = self._plane(shard)
+        started = time.perf_counter()
+        try:
+            return plane.request(command)
+        finally:
+            state.busy_seconds += time.perf_counter() - started
+
+    def plane_stats(self) -> List:
+        return [self._plane(shard).stats()
+                for shard in range(len(self._shards))]
+
     def close(self) -> None:
         self._shards = []
 
@@ -299,6 +392,7 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
     engine = model.stream_engine(**engine_overrides)
     busy_seconds = 0.0
     swaps = 0
+    plane = None
     pending_error: Optional[BaseException] = None
 
     def timed_tick() -> int:
@@ -322,7 +416,7 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
         the reply of the next replied command, so failures surface at the
         caller instead of silently desynchronizing the shard.
         """
-        nonlocal busy_seconds, swaps, pending_error
+        nonlocal busy_seconds, swaps, plane, pending_error
         kind = command[0]
         if kind == "stop":
             reply("stopped")
@@ -340,6 +434,27 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
             try:
                 for event in command[1]:
                     apply_event(engine, event)
+            except BaseException as error:  # surfaced at the next request
+                pending_error = error
+            busy_seconds += time.perf_counter() - started
+            return True
+        if kind == "plane":
+            started = time.perf_counter()
+            try:
+                if plane is None:
+                    raise ServiceError("no plane installed on this shard")
+                plane.handle(command[1])
+            except BaseException as error:  # surfaced at the next request
+                pending_error = error
+            busy_seconds += time.perf_counter() - started
+            return True
+        if kind == "plane_batch":
+            started = time.perf_counter()
+            try:
+                if plane is None:
+                    raise ServiceError("no plane installed on this shard")
+                for item in command[1]:
+                    plane.handle(item)
             except BaseException as error:  # surfaced at the next request
                 pending_error = error
             busy_seconds += time.perf_counter() - started
@@ -364,6 +479,20 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
                 if update.weights is not None:
                     swaps += 1
                 reply("swapped")
+            elif kind == "install_plane":
+                plane = command[1](shard_id, engine)
+                reply("plane_installed")
+            elif kind == "plane_request":
+                if plane is None:
+                    raise ServiceError("no plane installed on this shard")
+                started = time.perf_counter()
+                value = plane.request(command[1])
+                busy_seconds += time.perf_counter() - started
+                reply("plane_reply", value)
+            elif kind == "plane_stats":
+                if plane is None:
+                    raise ServiceError("no plane installed on this shard")
+                reply("plane_stats", plane.stats())
             elif kind == "stats":
                 reply("stats", ShardStats(
                     shard_id=shard_id,
@@ -533,6 +662,37 @@ class ProcessBackend(ServiceBackend):
 
     def stats(self) -> List[ShardStats]:
         return [self._request(shard, ("stats",), "stats")
+                for shard in self._shards]
+
+    # ----------------------------------------------------------- work planes
+    def install_plane(self, factory) -> None:
+        # Replied per shard, so the caller knows every worker built its
+        # plane (and a factory that cannot be rebuilt worker-side fails
+        # loudly here, not at the first routed command).
+        for shard in self._shards:
+            self._request(shard, ("install_plane", factory), "plane_installed")
+
+    def plane_send(self, shard: int, command) -> bool:
+        try:
+            self._shards[shard].commands.put_nowait(("plane", command))
+        except queue_module.Full:
+            return False
+        return True
+
+    def plane_send_batch(self, shard: int, commands: Sequence) -> bool:
+        try:
+            self._shards[shard].commands.put_nowait(
+                ("plane_batch", list(commands)))
+        except queue_module.Full:
+            return False
+        return True
+
+    def plane_request(self, shard: int, command):
+        return self._request(self._shards[shard],
+                             ("plane_request", command), "plane_reply")
+
+    def plane_stats(self) -> List:
+        return [self._request(shard, ("plane_stats",), "plane_stats")
                 for shard in self._shards]
 
     def close(self) -> None:

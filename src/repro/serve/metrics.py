@@ -76,6 +76,63 @@ class ShardStats:
 
 
 @dataclass
+class MatcherShardStats:
+    """A point-in-time snapshot of one shard's colocated online matcher.
+
+    Produced by the :class:`~repro.ingest.shardmatch.ShardMatcherPlane`
+    (``matcher_placement="shard"``) and surfaced through
+    :meth:`DetectionService.plane_stats`; the gateway folds these into its
+    fleet-wide :class:`GatewayStats` funnel so the dashboard reads the same
+    no matter where matching ran. ``sessions_reopened`` counts the
+    generations restarted after a lattice break (the shard-side twin of the
+    facade's post-break ``sessions_opened``); ``commit_lag_samples`` is the
+    matcher's reservoir, shipped whole so latency percentiles can be
+    computed fleet-wide.
+    """
+
+    shard_id: int
+    live_sessions: int = 0
+    matched_points: int = 0
+    unmatched_dropped: int = 0
+    segments_emitted: int = 0
+    sessions_reopened: int = 0
+    sessions_closed: int = 0
+    sessions_dropped: int = 0
+    sessions_broken: int = 0
+    commits: int = 0
+    forced_commits: int = 0
+    max_commit_lag: int = 0
+    commit_lag_sum: int = 0
+    commit_lag_samples: List[int] = field(default_factory=list)
+
+    @property
+    def mean_commit_lag(self) -> float:
+        return self.commit_lag_sum / self.commits if self.commits else 0.0
+
+    @property
+    def forced_commit_rate(self) -> float:
+        return self.forced_commits / self.commits if self.commits else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "live_sessions": self.live_sessions,
+            "matched_points": self.matched_points,
+            "unmatched_dropped": self.unmatched_dropped,
+            "segments_emitted": self.segments_emitted,
+            "sessions_reopened": self.sessions_reopened,
+            "sessions_closed": self.sessions_closed,
+            "sessions_dropped": self.sessions_dropped,
+            "sessions_broken": self.sessions_broken,
+            "commits": self.commits,
+            "forced_commits": self.forced_commits,
+            "forced_commit_rate": self.forced_commit_rate,
+            "max_commit_lag": self.max_commit_lag,
+            "mean_commit_lag": self.mean_commit_lag,
+        }
+
+
+@dataclass
 class GatewayStats:
     """A point-in-time snapshot of a raw-GPS ingest gateway.
 
@@ -176,6 +233,7 @@ class ServiceMetrics:
     history_version: int = 0
     history_refreshes: int = 0
     gateway: Optional[GatewayStats] = None
+    matchers: List[MatcherShardStats] = field(default_factory=list)
 
     @property
     def num_shards(self) -> int:
@@ -242,6 +300,17 @@ class ServiceMetrics:
                 f"queue {shard.queue_depth}, pending {shard.pending_points}, "
                 f"cache {shard.cache_hit_rate:.1%}, swaps {shard.swaps}, "
                 f"history v{shard.history_version}")
+        for matcher in self.matchers:
+            lines.append(
+                f"  matcher[{matcher.shard_id}]: "
+                f"{matcher.matched_points} pts matched -> "
+                f"{matcher.segments_emitted} segments, "
+                f"{matcher.live_sessions} live sessions, "
+                f"{matcher.sessions_closed} closed "
+                f"({matcher.sessions_broken} broken), "
+                f"commit lag mean {matcher.mean_commit_lag:.1f} / "
+                f"max {matcher.max_commit_lag} "
+                f"({matcher.forced_commit_rate:.1%} forced)")
         if self.gateway is not None:
             lines.append(f"  {self.gateway.format()}")
         return "\n".join(lines)

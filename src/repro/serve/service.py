@@ -102,6 +102,7 @@ class DetectionService:
         self._model_version = 1
         self._history_version = model.pipeline.history.version
         self._history_refreshes = 0
+        self._plane_installed = False
         self._closed = False
         if backend == "inprocess":
             self._backend: ServiceBackend = InProcessBackend(
@@ -287,6 +288,82 @@ class DetectionService:
         if request.destination is not None:
             self._vocabulary.token(request.destination)
         return request, True
+
+    # ---------------------------------------------------------- work planes
+    @property
+    def plane_installed(self) -> bool:
+        return self._plane_installed
+
+    def install_plane(self, factory) -> None:
+        """Attach one colocated work plane to every shard, once.
+
+        ``factory(shard_id, engine) -> plane`` runs next to each shard's
+        engine (in the worker process, for the process backend — the factory
+        must be picklable there) and the returned object serves that shard's
+        plane commands for the service's lifetime; see the
+        :mod:`~repro.serve.backends` docstring for the plane contract. The
+        raw-GPS gateway uses this to run one
+        :class:`~repro.mapmatching.online.OnlineMapMatcher` per shard
+        (``matcher_placement="shard"``), so installing twice — two gateways
+        fighting over the same shards — is refused.
+        """
+        self._require_open_service()
+        if self._plane_installed:
+            raise ServiceError(
+                "a work plane is already installed on this service")
+        self._backend.install_plane(factory)
+        self._plane_installed = True
+
+    def plane_send_many(self, shard: int, commands: Sequence,
+                        max_retries: int = 10000,
+                        retry_wait_s: float = 0.0005) -> int:
+        """Queue plane commands to one shard as a single batched command.
+
+        The plane twin of :meth:`ingest_many` for a single shard: the batch
+        occupies one slot of the shard's bounded queue, is delivered
+        all-or-nothing, and a full queue is ridden out with the same
+        pump-then-sleep retry discipline (each refusal counted as a
+        rejection). Returns retries used.
+        """
+        self._require_open_service()
+        self._require_plane()
+        if not commands:
+            return 0
+        commands = list(commands)
+        retries = 0
+        while not self._backend.plane_send_batch(shard, commands):
+            self._rejected += 1
+            retries += 1
+            if retries > max_retries:
+                raise ServiceError(
+                    f"shard {shard} queue stayed full after {max_retries} "
+                    f"retries of a batched plane send")
+            if self.pump() == 0:
+                time.sleep(retry_wait_s)
+        self._accepted += len(commands)
+        self._batched_ingests += 1
+        return retries
+
+    def plane_request(self, shard: int, command):
+        """Send one replied command to a shard's plane; returns its answer.
+
+        FIFO with everything already queued to that shard, so by the time
+        the answer arrives every earlier plane command has been applied.
+        """
+        self._require_open_service()
+        self._require_plane()
+        return self._backend.plane_request(shard, command)
+
+    def plane_stats(self) -> List:
+        """Every shard plane's ``stats()`` snapshot, in shard order."""
+        self._require_open_service()
+        self._require_plane()
+        return self._backend.plane_stats()
+
+    def _require_plane(self) -> None:
+        if not self._plane_installed:
+            raise ServiceError(
+                "no work plane installed; call install_plane first")
 
     # ------------------------------------------------------------- progress
     def pump(self) -> int:

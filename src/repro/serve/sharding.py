@@ -5,7 +5,8 @@ shard, so the shard's :class:`~repro.core.stream.StreamEngine` sees the
 stream in order. The assignment must therefore be a pure function of the
 vehicle id — stable across calls, across processes and across service
 restarts. Python's builtin ``hash`` is *not* (string hashing is salted per
-process), so the key is serialized canonically and hashed with CRC-32.
+process), so the key is serialized canonically, hashed with CRC-32 and
+finalized with an avalanche mix (CRC alone clusters similar keys).
 """
 
 from __future__ import annotations
@@ -41,4 +42,15 @@ def shard_of(vehicle_id: Hashable, num_shards: int) -> int:
         raise ServiceError("num_shards must be >= 1")
     if num_shards == 1:
         return 0
-    return zlib.crc32(shard_key_bytes(vehicle_id)) % num_shards
+    checksum = zlib.crc32(shard_key_bytes(vehicle_id))
+    # CRC-32 is linear over GF(2): keys differing in a single character
+    # (consecutive integer ids, gateway session tuples like "(7, 0)") move
+    # its low bits through a fixed pattern, which clusters small fleets
+    # onto few shards. Finalize with a multiplicative avalanche mix
+    # (murmur3's) so every input bit reaches the bits the modulus keeps.
+    checksum ^= checksum >> 16
+    checksum = (checksum * 0x85EBCA6B) & 0xFFFFFFFF
+    checksum ^= checksum >> 13
+    checksum = (checksum * 0xC2B2AE35) & 0xFFFFFFFF
+    checksum ^= checksum >> 16
+    return checksum % num_shards

@@ -300,6 +300,12 @@ def test_gateway_validates_inputs(trained_model, dataset, offline_matcher):
         GatewayConfig(max_pending_points=1).validate()
     with pytest.raises(ConfigurationError):
         GatewayConfig(ingest_batch=0).validate()
+    # Regression: an explicit 0.0 used to silently fall back to
+    # session_gap_s (`or` treats 0.0 as unset); now it is rejected outright.
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(session_timeout_s=0.0).validate()
+    with pytest.raises(ConfigurationError):
+        GatewayConfig(matcher_placement="cloud").validate()
 
 
 def test_gateway_latency_report(trained_model, dataset, dataset_split,
@@ -510,6 +516,28 @@ def test_unbounded_gateway_never_evicts(trained_model, dataset, dataset_split,
     assert stats.vehicles_evicted == 0
     assert stats.session_timeouts == 0
     assert "vehicles evicted" in stats.format()
+
+
+def test_fleet_replay_keeps_results_of_first_push_evictions(
+        trained_model, dataset, dataset_split, offline_matcher):
+    """Regression: with more vehicles in flight than ``max_vehicles``, a new
+    vehicle's *first* push evicts the least recently active one — and
+    ``serve_raw_fleet`` used to discard the evictee's finished sessions
+    returned by that push. Every closed session must surface in the
+    evictee's own slot."""
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:6], seed=37)
+    config = GatewayConfig(reorder_window=0, max_vehicles=2, ingest_batch=4)
+    outputs, stats = run_gateway(trained_model, offline_matcher, raws,
+                                 config=config, num_shards=2)
+    assert stats.vehicles_evicted > 0  # the scenario actually bites
+    assert all(len(sessions) > 0 for sessions in outputs)
+    assert sum(len(sessions) for sessions in outputs) == stats.sessions_closed
+    # Same fleet, no vehicle bound: every point of every trace is covered.
+    # With the bound, eviction truncates sessions but never loses one.
+    unbounded, unbounded_stats = run_gateway(
+        trained_model, offline_matcher, raws, num_shards=2)
+    assert stats.matched_points == unbounded_stats.matched_points
 
 
 # ------------------------------------------------- map-matching confidence

@@ -151,6 +151,27 @@ def test_window_validation():
     network = tiny_dataset(seed=1).network
     with pytest.raises(MapMatchingError):
         OnlineMapMatcher(HMMMapMatcher(network), max_pending=1)
+    with pytest.raises(MapMatchingError):
+        OnlineMapMatcher(HMMMapMatcher(network), lag_sample_cap=0)
+
+
+def test_commit_lag_reservoir_samples_the_whole_run(offline_matcher):
+    """Regression: the latency reservoir used to stop recording once full,
+    so a long-running matcher reported only its startup window. Reservoir
+    sampling keeps the retained lags a uniform sample of every commit, so
+    late-run lags must show up."""
+    online = OnlineMapMatcher(offline_matcher, lag_sample_cap=64)
+    total = 20_000
+    for lag in range(total):
+        online.commits += 1
+        online._sample_lag(lag)
+    samples = online.commit_lag_samples
+    assert len(samples) == 64
+    assert all(0 <= lag < total for lag in samples)
+    # Plain truncation would retain only the first 64 lags (mean ~32); a
+    # uniform sample of the whole run has its mean near total / 2.
+    assert float(np.mean(samples)) > total / 4
+    assert max(samples) > total // 2
 
 
 # ------------------------------------------------------------ failure modes

@@ -1,0 +1,265 @@
+"""Differential tests of the parallel (shard-placed) online matcher plane.
+
+The acceptance bar for ``GatewayConfig(matcher_placement="shard")``: the
+parallel-matched gateway is **label-identical** to the serial (facade)
+gateway — and therefore, on clean fleets, to the offline pipeline — across
+shard counts and both service backends. The facade keeps every
+timestamp-driven decision (reorder, gap splits, timeouts, eviction) and the
+per-shard matchers replay the exact serial matching semantics per session,
+so placement must never change a label, a session split, or the merged
+funnel counters. Around the pin: messy-input equivalence (duplicates,
+out-of-order fixes, unmatchable fixes, gap splits), lattice-break
+equivalence (the plane splits generations the facade never sees), merged
+stats/latency reporting, and the plane plumbing's error paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GatewayConfig, MapMatchingConfig
+from repro.datagen import sample_gps_trace
+from repro.exceptions import ServiceError
+from repro.ingest import (GpsGateway, MatcherPlaneFactory, MatchPush,
+                          serve_raw_fleet)
+from repro.mapmatching import HMMMapMatcher
+from repro.trajectory import GPSPoint, RawTrajectory
+
+
+@pytest.fixture(scope="module")
+def offline_matcher(dataset):
+    return HMMMapMatcher(dataset.network)
+
+
+def clean_raws(dataset, trajectories, seed=0, noise=1.0):
+    rng = np.random.default_rng(seed)
+    return [sample_gps_trace(dataset.network, truth.segments,
+                             truth.start_time_s, rng, gps_noise_m=noise,
+                             trajectory_id=truth.trajectory_id)
+            for truth in trajectories]
+
+
+def run_placement(model, matcher, raws, placement, config=None,
+                  concurrency=8, **service_kwargs):
+    """One full raw-fleet replay under the given matcher placement."""
+    config = config or {}
+    gateway_config = GatewayConfig(matcher_placement=placement, **config)
+    with model.detection_service(**service_kwargs) as service:
+        gateway = GpsGateway(service, matcher, gateway_config)
+        outputs = serve_raw_fleet(gateway, raws, concurrency=concurrency)
+        stats = gateway.stats()
+        latency = gateway.commit_latency()
+        metrics = gateway.metrics()
+    return outputs, stats, latency, metrics
+
+
+def labels_of(outputs):
+    return [[result.labels for result in sessions] for sessions in outputs]
+
+
+FUNNEL = ("raw_points", "matched_points", "segments_emitted",
+          "late_dropped", "duplicates_dropped", "unmatched_dropped",
+          "sessions_opened", "sessions_closed", "sessions_dropped",
+          "sessions_broken", "gap_splits", "commits", "forced_commits",
+          "max_commit_lag")
+
+
+def assert_same_funnel(serial_stats, shard_stats):
+    """Placement must not change what the funnel measured, only where."""
+    for name in FUNNEL:
+        assert getattr(serial_stats, name) == getattr(shard_stats, name), name
+    assert serial_stats.mean_commit_lag == \
+        pytest.approx(shard_stats.mean_commit_lag)
+
+
+# ----------------------------------------------------------- label identity
+@pytest.mark.fleet
+@pytest.mark.parametrize("num_shards,backend", [(1, "inprocess"),
+                                                (3, "inprocess"),
+                                                (2, "process")])
+def test_shard_placement_is_label_identical_on_clean_fleets(
+        trained_model, dataset, dataset_split, offline_matcher,
+        num_shards, backend):
+    """The tentpole pin: parallel-matched gateway == serial gateway, for any
+    shard count and both backends, on clean fleets."""
+    _, development, test = dataset_split
+    fleet = (list(test) + list(development))[:10]
+    raws = clean_raws(dataset, fleet, seed=num_shards + 50)
+    serial, serial_stats, _, _ = run_placement(
+        trained_model, offline_matcher, raws, "facade",
+        config={"ingest_batch": 8}, num_shards=num_shards, backend=backend)
+    shard, shard_stats, _, _ = run_placement(
+        trained_model, offline_matcher, raws, "shard",
+        config={"ingest_batch": 8}, num_shards=num_shards, backend=backend)
+    assert labels_of(shard) == labels_of(serial)
+    assert shard_stats.sessions_closed == len(fleet)
+    assert shard_stats.dropped_points == 0
+    assert_same_funnel(serial_stats, shard_stats)
+
+
+def drive_point_streams(model, matcher, streams, starts, placement, config,
+                        num_shards=2):
+    """Push per-vehicle point lists verbatim (they may be out of order or
+    duplicated, which :class:`RawTrajectory` would reject)."""
+    gateway_config = GatewayConfig(matcher_placement=placement, **config)
+    with model.detection_service(num_shards=num_shards) as service:
+        gateway = GpsGateway(service, matcher, gateway_config)
+        outputs = []
+        for vehicle, points in enumerate(streams):
+            sessions = []
+            for position, point in enumerate(points):
+                sessions.extend(gateway.push_point(
+                    vehicle, point,
+                    start_time_s=starts[vehicle] if position == 0 else None))
+            sessions.extend(gateway.end(vehicle))
+            outputs.append([s.result.labels for s in sessions])
+        stats = gateway.stats()
+    return outputs, stats
+
+
+@pytest.mark.fleet
+def test_shard_placement_is_label_identical_on_messy_input(
+        trained_model, dataset, dataset_split, offline_matcher):
+    """Duplicates, bounded out-of-order arrival, unmatchable fixes and
+    gap splits: both placements repair/split/drop identically."""
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:6], seed=61)
+    streams = []
+    for raw in raws:
+        points = list(raw.points)
+        # Swap adjacent fixes (inside the reorder window).
+        for i in range(0, len(points) - 1, 3):
+            points[i], points[i + 1] = points[i + 1], points[i]
+        # A duplicated fix and a fix nowhere near any road.
+        points.insert(len(points) // 2, points[len(points) // 2])
+        middle = points[len(points) // 3]
+        points.insert(len(points) // 3 + 1,
+                      GPSPoint(middle.x + 1e7, middle.y + 1e7,
+                               middle.t + 0.5))
+        # A long silence, splitting the trip in two.
+        gap_at = (2 * len(points)) // 3
+        points = points[:gap_at] + [
+            GPSPoint(p.x, p.y, p.t + 900.0) for p in points[gap_at:]]
+        streams.append(points)
+    starts = [raw.start_time_s for raw in raws]
+    config = {"reorder_window": 3, "session_gap_s": 300.0, "ingest_batch": 6}
+    serial, serial_stats = drive_point_streams(
+        trained_model, offline_matcher, streams, starts, "facade", config)
+    shard, shard_stats = drive_point_streams(
+        trained_model, offline_matcher, streams, starts, "shard", config)
+    assert serial_stats.gap_splits == len(streams)
+    assert serial_stats.duplicates_dropped == len(streams)
+    assert serial_stats.unmatched_dropped >= len(streams)
+    assert shard == serial
+    assert_same_funnel(serial_stats, shard_stats)
+
+
+@pytest.mark.fleet
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+def test_shard_placement_is_label_identical_through_lattice_breaks(
+        trained_model, dataset, dataset_split, offline_matcher, backend):
+    """A teleporting trace breaks the lattice mid-session. Serially the
+    facade splits the session; in shard placement the plane splits it into
+    generations the facade never sees — the results must still be
+    identical, and so must the (merged) break accounting."""
+    _, _, test = dataset_split
+    # A tiny routing budget makes the teleport's candidates unreachable
+    # (bounded Dijkstra gives up), forcing MatchBreakError instead of a
+    # long bridged route.
+    matcher = HMMMapMatcher(dataset.network,
+                            MapMatchingConfig(routing_max_hops=3))
+    raws = clean_raws(dataset, test[:4], seed=62)
+    teleported = []
+    for raw, partner in zip(raws, reversed(raws)):
+        points = list(raw.points)
+        half = len(points) // 2
+        # Jump to the partner trip's route, timestamps kept in-session.
+        graft = [GPSPoint(p.x, p.y, points[half - 1].t + 1.0 + i)
+                 for i, p in enumerate(partner.points[:half])]
+        teleported.append(RawTrajectory(raw.trajectory_id,
+                                        points[:half] + graft,
+                                        start_time_s=raw.start_time_s))
+    serial, serial_stats, _, _ = run_placement(
+        trained_model, matcher, teleported, "facade",
+        config={"ingest_batch": 4}, num_shards=2, backend=backend)
+    shard, shard_stats, _, _ = run_placement(
+        trained_model, matcher, teleported, "shard",
+        config={"ingest_batch": 4}, num_shards=2, backend=backend)
+    assert serial_stats.sessions_broken > 0  # the scenario actually bites
+    assert labels_of(shard) == labels_of(serial)
+    assert_same_funnel(serial_stats, shard_stats)
+
+
+# ------------------------------------------------------- merged observability
+@pytest.mark.fleet
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+def test_shard_placement_merges_stats_and_latency(
+        trained_model, dataset, dataset_split, offline_matcher, backend):
+    """Commit statistics and the latency reservoir live on the shard
+    matchers; the gateway's merged view must equal the serial one."""
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:6], seed=63)
+    _, serial_stats, serial_latency, _ = run_placement(
+        trained_model, offline_matcher, raws, "facade",
+        config={"ingest_batch": 8}, num_shards=2, backend=backend)
+    _, shard_stats, shard_latency, shard_metrics = run_placement(
+        trained_model, offline_matcher, raws, "shard",
+        config={"ingest_batch": 8}, num_shards=2, backend=backend)
+    assert shard_latency.count == serial_latency.count
+    assert sorted(shard_latency.samples) == sorted(serial_latency.samples)
+    assert shard_stats.commits == serial_stats.commits
+    assert shard_stats.mean_commit_lag == \
+        pytest.approx(serial_stats.mean_commit_lag)
+    # The fleet dashboard carries one matcher snapshot per shard.
+    assert len(shard_metrics.matchers) == 2
+    assert sum(m.matched_points for m in shard_metrics.matchers) == \
+        shard_stats.matched_points
+    assert sum(m.live_sessions for m in shard_metrics.matchers) == 0
+    assert all(m.as_dict()["shard_id"] == i
+               for i, m in enumerate(shard_metrics.matchers))
+    assert "matcher[0]" in shard_metrics.format()
+
+
+# ----------------------------------------------------------- plane plumbing
+def test_plane_install_is_single_shot(trained_model, offline_matcher):
+    """Two gateways cannot share one service's shards; a plane-less service
+    refuses plane traffic outright."""
+    config = GatewayConfig(matcher_placement="shard")
+    with trained_model.detection_service(num_shards=2) as service:
+        GpsGateway(service, offline_matcher, config)
+        assert service.plane_installed
+        with pytest.raises(ServiceError):
+            GpsGateway(service, offline_matcher, config)
+    with trained_model.detection_service(num_shards=1) as service:
+        assert not service.plane_installed
+        with pytest.raises(ServiceError):
+            service.plane_send_many(0, [MatchPush(("cab", 0),
+                                                  GPSPoint(0.0, 0.0, 0.0))])
+        with pytest.raises(ServiceError):
+            service.plane_stats()
+
+
+def test_matcher_plane_factory_pickles_without_shared_state(offline_matcher):
+    """Workers rebuild their own matcher: the pickled factory drops the
+    in-process shared HMM matcher but keeps network and config."""
+    import pickle
+
+    factory = MatcherPlaneFactory(offline_matcher, max_pending=7)
+    rebuilt = pickle.loads(pickle.dumps(factory))
+    assert rebuilt._shared is None
+    assert factory._shared is offline_matcher
+
+    class _FakeEngine:
+        def ingest(self, *args, **kwargs):
+            raise AssertionError("no segment should be forwarded here")
+
+    plane = rebuilt(0, _FakeEngine())
+    assert plane.matcher.max_pending == 7
+    assert plane.matcher.matcher is not offline_matcher
+    shared = factory(1, _FakeEngine())
+    assert shared.matcher.matcher is offline_matcher
+    with pytest.raises(TypeError):
+        plane.handle(("not", "a", "plane", "command"))
+    with pytest.raises(TypeError):
+        plane.request(("nor", "a", "request"))

@@ -374,6 +374,22 @@ def test_shard_assignment_is_stable_and_covers_shards():
         shard_of("cab", 0)
 
 
+def test_shard_assignment_spreads_similar_keys():
+    """Regression: raw CRC-32 is linear, so keys differing in one character
+    — consecutive integer ids, gateway session tuples ``(vehicle, 0)`` —
+    clustered onto few shards (the first 8 integer fleets all landed on one
+    shard of 4). The avalanche finalizer must spread them."""
+    for num_shards in (2, 3, 4, 8):
+        for keys in ([(vehicle, 0) for vehicle in range(64)],
+                     list(range(64)),
+                     [f"cab-{vehicle}" for vehicle in range(64)]):
+            used = {shard_of(key, num_shards) for key in keys}
+            assert len(used) == num_shards, (num_shards, keys[:3], used)
+    # The exact shape of the old failure: vehicles 0..7, first session, 4
+    # shards — every one of them used to land on shard 0.
+    assert len({shard_of((vehicle, 0), 4) for vehicle in range(8)}) >= 3
+
+
 def test_same_vehicle_always_routes_to_same_shard(trained_model,
                                                   dataset_split):
     _, _, test = dataset_split
