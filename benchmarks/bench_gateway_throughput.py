@@ -5,7 +5,9 @@ Replays the same raw-GPS fleet workload several ways — the offline pipeline
 serial gateway (``matcher_placement="facade"``: one online matcher on the
 caller's thread), the parallel gateway (``matcher_placement="shard"``: one
 online matcher *inside* every process-backend shard worker) at 1/2/4
-shards, and finally the parallel gateway with per-point service puts —
+shards, the parallel gateway with session closes riding the results bus
+(``async_sessions``), and finally the parallel gateway with per-point
+service puts —
 verifies every path's labels are identical to the offline pipeline, reports
 raw-GPS points/sec, and checks the per-point commit latency stays inside
 the configured lattice window.
@@ -116,10 +118,11 @@ def _offline_pipeline(model, matcher, raws, total_points):
 
 def _measure_gateway(model, matcher_network, raws, total_points, *,
                      num_shards, backend, ingest_batch,
-                     placement="facade", name=None):
+                     placement="facade", async_sessions=False, name=None):
     """One gateway+service configuration over the raw workload."""
     config = GatewayConfig(ingest_batch=ingest_batch,
-                           matcher_placement=placement)
+                           matcher_placement=placement,
+                           async_sessions=async_sessions)
     matcher = HMMMapMatcher(matcher_network)  # fresh distance cache per run
     with model.detection_service(num_shards=num_shards, backend=backend,
                                  queue_depth=1024) as service:
@@ -184,6 +187,19 @@ def run_bench(smoke: bool = False):
         last_stats, last_latency = stats, latency
 
     max_shards = max(by_shards)
+
+    # Same shard-matcher plane, but session closes ride the results bus
+    # (``async_sessions``) instead of blocking the driver round.
+    async_row, async_labels, async_stats, _, _ = _measure_gateway(
+        model, split.dataset.network, raws, total_points,
+        num_shards=max_shards, backend=backend, placement="shard",
+        ingest_batch=GatewayConfig().ingest_batch, async_sessions=True,
+        name=f"GpsGateway [shard, async sessions] ({backend}, "
+             f"{max_shards} shard(s), batch {GatewayConfig().ingest_batch})")
+    rows.append(async_row)
+    mismatches += check_labels(async_labels)
+    assert async_stats.sessions_closed == len(raws)
+
     per_point, per_point_labels, _, _, _ = _measure_gateway(
         model, split.dataset.network, raws, total_points,
         num_shards=max_shards, backend=backend, placement="shard",
@@ -197,6 +213,8 @@ def run_bench(smoke: bool = False):
                       / serial.points_per_second)
     batch_gain = (by_shards[max_shards].points_per_second
                   / per_point.points_per_second)
+    async_gain = (async_row.points_per_second
+                  / by_shards[max_shards].points_per_second)
     cores = os.cpu_count() or 1
     latency_bounded = last_latency.maximum <= config.max_pending_points
     text_lines = [
@@ -213,6 +231,8 @@ def run_bench(smoke: bool = False):
         f"shard(s): {placement_gain:.2f}x",
         f"  batched vs per-point ingest at {max_shards} shard(s): "
         f"{batch_gain:.2f}x",
+        f"  async vs blocking session closes at {max_shards} shard(s): "
+        f"{async_gain:.2f}x",
         f"  label mismatches vs offline pipeline: {mismatches}",
         f"  {last_latency.format()}",
         f"  commit latency bounded by window "
@@ -225,6 +245,7 @@ def run_bench(smoke: bool = False):
         "scaling": scaling,
         "placement_gain": placement_gain,
         "batch_gain": batch_gain,
+        "async_gain": async_gain,
         "latency_bounded": latency_bounded,
         "latency_max": last_latency.maximum,
         "dropped": last_stats.dropped_points,

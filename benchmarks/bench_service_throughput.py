@@ -1,18 +1,23 @@
 """Service throughput: the sharded DetectionService vs. one StreamEngine.
 
-Replays the same fleet workload four ways — one batched ``StreamEngine``
-(the single-engine baseline), an in-process service (facade overhead, no
-IPC), and a multi-process service at 1/2/4 shards — verifies every path
-produces identical labels, reports points/sec for each, and exercises the
-backpressure path (a deliberately tiny queue fills, the driver retries, no
-stream is lost).
+Replays the same fleet workload several ways — one batched ``StreamEngine``
+(the single-engine baseline), an in-process service through the synchronous
+wrapper and through the raw asyncio driver (``serve_fleet_async``; facade
+overhead, no IPC), and a multi-process service at 1/2/4 shards — verifies
+every path produces identical labels, reports points/sec for each, and
+exercises the backpressure path (a deliberately tiny queue fills, the
+driver retries, no stream is lost).
 
 Sharding pays through parallelism, so what the numbers show depends on the
 machine: on a single core the process backend only adds IPC cost, while on a
 multicore host the shards' ticks overlap and the service overtakes the
-single engine. The scaling assertions therefore only arm when enough cores
-are present (and the floors can be tuned for noisy shared runners):
+single engine. The facade-overhead floor always arms (it measures batching,
+not parallelism); the scaling assertions only arm when enough cores are
+present (and every floor can be tuned for noisy shared runners):
 
+* ``REPRO_BENCH_MIN_INPROC_RATIO`` — required points/sec ratio of the
+  1-shard in-process service over the bare single engine (default 0.6):
+  how much of the raw engine the batched command/result planes keep;
 * ``REPRO_BENCH_MIN_SERVICE_SCALING`` — required points/sec ratio of the
   4-shard service over the 1-shard service (default 1.2);
 * ``REPRO_BENCH_MIN_SERVICE_SPEEDUP`` — required ratio of the best
@@ -38,9 +43,9 @@ sys.path.insert(0, str(Path(__file__).parent))
 import pytest
 
 from repro.core import replay_fleet
-from repro.eval import measure_throughput
+from repro.eval import measure_async_throughput, measure_throughput
 from repro.experiments.common import prepare_city, train_rl4oasd
-from repro.serve import serve_fleet
+from repro.serve import serve_fleet, serve_fleet_async
 
 from conftest import bench_settings, record_result
 
@@ -49,6 +54,8 @@ WORKLOAD_TRIPS = 256
 SHARD_COUNTS = (1, 2, 4)
 #: Cores needed before the parallel-scaling assertions arm.
 MIN_CORES_FOR_SCALING = 4
+MIN_INPROC_RATIO = float(
+    os.environ.get("REPRO_BENCH_MIN_INPROC_RATIO", "0.6"))
 MIN_SERVICE_SCALING = float(
     os.environ.get("REPRO_BENCH_MIN_SERVICE_SCALING", "1.2"))
 MIN_SERVICE_SPEEDUP = float(
@@ -75,6 +82,28 @@ def _measure_service(model, workload, total_points, *, num_shards, backend,
         name=name or f"DetectionService ({backend}, {num_shards} shard(s))",
         total_seconds=elapsed)
     assert report.total_points == total_points
+    assert metrics.results_pending == 0
+    assert metrics.results_duplicates == 0
+    return report, results, metrics
+
+
+def _measure_service_async(model, workload, total_points, *, num_shards,
+                           backend, name):
+    """Same fleet, driven on the raw asyncio entry point.
+
+    ``serve_fleet`` is ``asyncio.run(serve_fleet_async(...))``, so this row
+    should land within noise of the synchronous one — printing both keeps
+    the wrapper honest in the recorded results.
+    """
+    with model.detection_service(num_shards=num_shards, backend=backend,
+                                 queue_depth=1024) as service:
+        report, results = measure_async_throughput(
+            lambda: serve_fleet_async(service, workload,
+                                      concurrency=CONCURRENCY),
+            total_points, name=name, num_trajectories=len(workload))
+        metrics = service.metrics()
+    assert metrics.results_pending == 0
+    assert metrics.results_delivered == len(workload)
     return report, results, metrics
 
 
@@ -119,6 +148,13 @@ def run_bench(smoke: bool = False):
     mismatches += sum(1 for a, b in zip(single_results, inproc_results)
                       if a.labels != b.labels)
 
+    inproc_async, async_results, _ = _measure_service_async(
+        model, workload, total_points, num_shards=1, backend="inprocess",
+        name="DetectionService (inprocess, 1 shard, async driver)")
+    rows.append(inproc_async)
+    mismatches += sum(1 for a, b in zip(single_results, async_results)
+                      if a.labels != b.labels)
+
     by_shards = {}
     for num_shards in shard_counts:
         report, results, metrics = _measure_service(
@@ -136,6 +172,7 @@ def run_bench(smoke: bool = False):
     scaling = (by_shards[max(by_shards)].points_per_second
                / by_shards[min(by_shards)].points_per_second)
     speedup = best.speedup_over(single)
+    inproc_ratio = inproc.speedup_over(single)
     cores = os.cpu_count() or 1
     text_lines = [
         "Sharded detection service throughput"
@@ -145,6 +182,8 @@ def run_bench(smoke: bool = False):
     ]
     text_lines.extend(f"  {report.format()}" for report in rows)
     text_lines.extend([
+        f"  inprocess 1-shard vs single engine: {inproc_ratio:.2f}x "
+        f"(floor {MIN_INPROC_RATIO:.2f}x)",
         f"  scaling {min(by_shards)}->{max(by_shards)} shards: "
         f"{scaling:.2f}x   best service vs single engine: {speedup:.2f}x",
         f"  label mismatches: {mismatches}",
@@ -157,6 +196,7 @@ def run_bench(smoke: bool = False):
         "mismatches": mismatches,
         "rejected": rejected,
         "complete": complete,
+        "inproc_ratio": inproc_ratio,
         "scaling": scaling,
         "speedup": speedup,
         "cores": cores,
@@ -168,6 +208,13 @@ def run_bench(smoke: bool = False):
 
 def test_service_matches_single_engine_labels(service_throughput):
     assert service_throughput["mismatches"] == 0
+
+
+def test_inprocess_facade_overhead_is_bounded(service_throughput):
+    """Batched command/result planes must keep the 1-shard in-process
+    service at >= ``MIN_INPROC_RATIO`` of the bare engine's points/sec."""
+    assert service_throughput["inproc_ratio"] >= MIN_INPROC_RATIO, \
+        service_throughput["text"]
 
 
 def test_backpressure_path_loses_no_stream(service_throughput):
@@ -227,6 +274,10 @@ def main() -> None:
         raise SystemExit("label mismatch between service and single engine")
     if not (result["rejected"] > 0 and result["complete"]):
         raise SystemExit("backpressure path was not exercised cleanly")
+    if result["inproc_ratio"] < MIN_INPROC_RATIO:
+        raise SystemExit(
+            f"inprocess/engine ratio {result['inproc_ratio']:.2f}x below "
+            f"the {MIN_INPROC_RATIO:.2f}x floor")
     if smoke:
         return
     if result["cores"] >= MIN_CORES_FOR_SCALING:

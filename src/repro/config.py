@@ -309,6 +309,14 @@ class GatewayConfig:
     it the online matcher) keeps: when a new vehicle would exceed the bound,
     the least recently active vehicle is closed and evicted (0 means
     unbounded).
+
+    ``async_sessions`` completes sessions through the service's results bus
+    instead of a blocking finalize per close: ``push`` / ``end`` /
+    ``advance_clock`` return no :class:`~repro.ingest.SessionResult`\\ s —
+    finished sessions are collected in batches with
+    :meth:`GpsGateway.poll_sessions` / :meth:`GpsGateway.drain_sessions`.
+    Same sessions, same labels, different delivery; the default ``False``
+    keeps the original synchronous contract.
     """
 
     reorder_window: int = 8
@@ -318,6 +326,7 @@ class GatewayConfig:
     max_pending_points: int = 64
     ingest_batch: int = 32
     matcher_placement: str = "facade"
+    async_sessions: bool = False
     max_retries: int = 10000
     retry_wait_s: float = 0.0005
 

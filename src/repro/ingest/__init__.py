@@ -24,16 +24,19 @@ incremental map matching
   so matching scales with shards instead of capping them at the facade.
 """
 
-from .gateway import GpsGateway, SessionResult, serve_raw_fleet
-from .shardmatch import (MatcherPlaneFactory, MatchFinish, MatchPush,
-                         SessionClose, ShardMatcherPlane)
+from .gateway import (GpsGateway, SessionResult, serve_raw_fleet,
+                      serve_raw_fleet_async)
+from .shardmatch import (MatcherPlaneFactory, MatchFinish, MatchFinishAsync,
+                         MatchPush, SessionClose, ShardMatcherPlane)
 
 __all__ = [
     "GpsGateway",
     "SessionResult",
     "serve_raw_fleet",
+    "serve_raw_fleet_async",
     "MatchPush",
     "MatchFinish",
+    "MatchFinishAsync",
     "SessionClose",
     "ShardMatcherPlane",
     "MatcherPlaneFactory",

@@ -48,9 +48,13 @@ gateway throughput benchmark drive.
 
 from __future__ import annotations
 
+import asyncio
 import bisect
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (Deque, Dict, Hashable, List, NamedTuple, Optional,
+                    Sequence, Tuple)
 
 from ..config import GatewayConfig
 from ..core.detector import DetectionResult
@@ -62,7 +66,8 @@ from ..serve.backends import IngestEvent
 from ..serve.metrics import GatewayStats, ServiceMetrics
 from ..serve.service import DetectionService
 from ..trajectory.models import GPSPoint, RawTrajectory
-from .shardmatch import MatcherPlaneFactory, MatchFinish, MatchPush
+from .shardmatch import (MatcherPlaneFactory, MatchFinish, MatchFinishAsync,
+                         MatchPush)
 
 
 class SessionResult(NamedTuple):
@@ -142,6 +147,17 @@ class GpsGateway:
         # ever re-sending (duplicating) a delivered batch.
         self._pending: Dict[int, List] = {}
         self._pending_count = 0
+        self._async = self._config.async_sessions
+        # Sessions closed through the bus whose results have not arrived:
+        # session key -> FIFO of (match,) under facade placement (the facade
+        # holds the match summary, the shard only the detection result), of
+        # None under shard placement (the SessionClose envelopes carry it
+        # all). A FIFO, not a single slot: an evicted vehicle that reappears
+        # restarts its session numbering, so a key can be in flight twice —
+        # and because a key always routes to one shard, the bus delivers
+        # same-key results in close order.
+        self._pending_sessions: Dict[Tuple[Hashable, int],
+                                     Deque[Optional[Tuple]]] = {}
         self._next_trajectory_id = 0
         self._stats = GatewayStats()
         self._placement = self._config.matcher_placement
@@ -334,6 +350,103 @@ class GpsGateway:
                 self._pending_count += len(batch)
                 raise
         self._stats.batched_flushes += 1
+
+    # -------------------------------------------------------- async sessions
+    @property
+    def pending_sessions(self) -> int:
+        """Bus-closed sessions whose results have not arrived yet.
+
+        Always 0 without ``async_sessions``; with it, the number of
+        sessions between their close (``push`` gap split / ``end`` /
+        ``advance_clock`` / eviction) and the poll that collects them.
+        """
+        return sum(len(queue) for queue in self._pending_sessions.values())
+
+    def _pop_pending(self, key: Tuple[Hashable, int]):
+        """Pop the oldest in-flight close of one session key (FIFO), or
+        ``False`` when the key has nothing pending."""
+        queue = self._pending_sessions.get(key)
+        if not queue:
+            return False
+        entry = queue.popleft()
+        if not queue:
+            del self._pending_sessions[key]
+        return entry
+
+    def poll_sessions(self,
+                      max_items: Optional[int] = None) -> List[SessionResult]:
+        """Collect finished sessions off the results bus, without blocking.
+
+        The ``async_sessions`` counterpart of the :class:`SessionResult`
+        lists the synchronous close paths return: drains the service's
+        results bus once (:meth:`DetectionService.poll_results` — dedup,
+        acks and all) and converts what belongs to this gateway. Sessions
+        arrive in each shard's completion order, not close order; a
+        multi-generation (lattice-broken) session still yields its
+        generations together, in order. In-process backends only publish
+        while pumped — call :meth:`pump` first (the drivers do).
+        """
+        completed: List[SessionResult] = []
+        for envelope in self._service.poll_results(max_items):
+            if envelope.kind == "error":
+                raise envelope.payload
+            if envelope.kind == "session":
+                # Shard placement: the envelope carries the SessionClose
+                # list of every generation, empty when nothing matched.
+                if self._pop_pending(envelope.key) is False:
+                    raise GatewayError(
+                        f"bus close for unknown session {envelope.key!r}")
+                for close in envelope.payload:
+                    completed.append(SessionResult(
+                        vehicle_id=close.key[0],
+                        session_key=close.key,
+                        result=close.result,
+                        match=close.match,
+                        confidence=(close.match.confidence
+                                    if close.match is not None else 0.0)))
+            else:
+                # Facade placement: one detection result per finalized
+                # stream; the match summary waited facade-side.
+                pending = self._pop_pending(envelope.key)
+                if pending is False:
+                    raise GatewayError(
+                        f"bus result for unknown session {envelope.key!r} "
+                        "(is something else finalizing through this "
+                        "gateway's service?)")
+                (match,) = pending
+                completed.append(SessionResult(
+                    vehicle_id=envelope.key[0],
+                    session_key=envelope.key,
+                    result=envelope.payload,
+                    match=match,
+                    confidence=(match.confidence
+                                if match is not None else 0.0)))
+        return completed
+
+    def drain_sessions(self, timeout_s: float = 120.0,
+                       poll_wait_s: float = 0.0005) -> List[SessionResult]:
+        """Pump and poll until every pending session has reported.
+
+        Raises :class:`~repro.exceptions.GatewayError` after ``timeout_s``
+        without progress. Note this only waits out sessions already
+        *closed* — vehicles still streaming keep their sessions open until
+        a gap, an :meth:`end`, or a timeout closes them.
+        """
+        collected = list(self.poll_sessions())
+        deadline = time.perf_counter() + timeout_s
+        while self._pending_sessions:
+            self.pump()
+            arrived = self.poll_sessions()
+            if arrived:
+                collected.extend(arrived)
+                deadline = time.perf_counter() + timeout_s
+                continue
+            if time.perf_counter() > deadline:
+                raise GatewayError(
+                    f"{self.pending_sessions} async session result(s) "
+                    f"did not arrive within {timeout_s:.0f}s")
+            time.sleep(poll_wait_s)
+        return collected
 
     # -------------------------------------------------------------- metrics
     def stats(self) -> GatewayStats:
@@ -539,9 +652,20 @@ class GpsGateway:
                 self._stats.sessions_dropped += 1
                 return []
             # Flush so every buffered fix of this session reaches its shard
-            # before the (FIFO-ordered) finish request.
+            # before the (FIFO-ordered) finish command.
             self.flush()
             shard = self._service.shard_for(session.key)
+            if self._async:
+                # Fire-and-forget: the shard closes the session on its own
+                # clock and publishes the SessionClose list over the bus;
+                # poll_sessions turns the envelope into SessionResults.
+                self._service.plane_send_many(
+                    shard, [MatchFinishAsync(session.key)],
+                    max_retries=self._config.max_retries,
+                    retry_wait_s=self._config.retry_wait_s)
+                self._pending_sessions.setdefault(
+                    session.key, deque()).append(None)
+                return []
             closes = self._service.plane_request(
                 shard, MatchFinish(session.key))
             return [
@@ -571,6 +695,18 @@ class GpsGateway:
             self._stats.sessions_dropped += 1
             return []
         self.flush()
+        if self._async:
+            # FIFO per shard: the stream's events were flushed above, so
+            # the queued finalize marker sees the complete session. The
+            # facade-side match summary waits here for the bus result.
+            self._service.finalize_async(
+                [session.key],
+                max_retries=self._config.max_retries,
+                retry_wait_s=self._config.retry_wait_s)
+            self._pending_sessions.setdefault(
+                session.key, deque()).append((match,))
+            self._stats.sessions_closed += 1
+            return []
         result = self._service.finalize(session.key)
         self._stats.sessions_closed += 1
         return [SessionResult(vehicle_id=session.key[0],
@@ -580,28 +716,44 @@ class GpsGateway:
                                           if match is not None else 0.0))]
 
 
-def serve_raw_fleet(
+async def serve_raw_fleet_async(
     gateway: GpsGateway,
     raw_trajectories: Sequence[RawTrajectory],
     concurrency: int = 64,
+    poll_wait_s: float = 0.0005,
 ) -> List[List[DetectionResult]]:
-    """Replay raw GPS trajectories through a gateway as a concurrent fleet.
+    """Replay raw GPS trajectories through a gateway as one asyncio driver.
 
-    The raw-input twin of :func:`~repro.serve.service.serve_fleet`: up to
-    ``concurrency`` vehicles in flight, one fix per active vehicle per
-    round, one service pump per round, every finished vehicle closed through
-    :meth:`GpsGateway.end`. Returns, per input trajectory (in input order),
-    the detection results of its sessions — exactly one for a clean,
-    gap-free trace; several when time gaps split the trip; none when no fix
-    could be matched.
+    The raw-input twin of :func:`~repro.serve.service.serve_fleet_async`:
+    up to ``concurrency`` vehicles in flight, one fix per active vehicle
+    per round, one service pump per round, every finished vehicle closed
+    through :meth:`GpsGateway.end`, one yield to the event loop per round.
+    With ``async_sessions`` the close paths return nothing — finished
+    sessions are collected off the results bus (:meth:`GpsGateway.
+    poll_sessions`) as they complete and, after the replay, sorted back
+    into each vehicle's session order, so the returned lists are identical
+    to the synchronous gateway's. Returns, per input trajectory (in input
+    order), the detection results of its sessions — exactly one for a
+    clean, gap-free trace; several when time gaps split the trip; none
+    when no fix could be matched.
     """
     if concurrency < 1:
         raise GatewayError("concurrency must be positive")
-    results: List[List[DetectionResult]] = [[] for _ in raw_trajectories]
+    async_mode = gateway.config.async_sessions
+    sessions_of: List[List[SessionResult]] = [[] for _ in raw_trajectories]
     backlog = list(enumerate(raw_trajectories))
     backlog.reverse()  # pop() from the end preserves input order
     active: Dict[int, Tuple[int, int]] = {}  # vehicle -> (index, cursor)
+    owner: Dict[int, int] = {}               # vehicle -> index, forever
     next_vehicle = 0
+
+    def route(sessions: List[SessionResult]) -> None:
+        # Sessions of an evicted vehicle surface from another vehicle's
+        # push (sync mode) or from a later poll (async mode); the owner map
+        # outlives `active`, so they always land in the right slot.
+        for session in sessions:
+            sessions_of[owner[session.vehicle_id]].append(session)
+
     while backlog or active:
         while backlog and len(active) < concurrency:
             index, trajectory = backlog.pop()
@@ -612,29 +764,53 @@ def serve_raw_fleet(
             # finished sessions come back here and must be routed to *its*
             # slot — dropping them was the result-loss bug this loop had.
             active[vehicle] = (index, 1)
-            for session in gateway.push_point(
-                    vehicle, trajectory.points[0],
-                    start_time_s=trajectory.start_time_s):
-                owner_index, _ = active[session.vehicle_id]
-                results[owner_index].append(session.result)
+            owner[vehicle] = index
+            route(gateway.push_point(vehicle, trajectory.points[0],
+                                     start_time_s=trajectory.start_time_s))
         finished: List[int] = []
         for vehicle, (index, cursor) in active.items():
             trajectory = raw_trajectories[index]
             if cursor < len(trajectory.points):
-                for session in gateway.push_point(
-                        vehicle, trajectory.points[cursor]):
-                    owner_index, _ = active[session.vehicle_id]
-                    results[owner_index].append(session.result)
+                route(gateway.push_point(vehicle, trajectory.points[cursor]))
                 active[vehicle] = (index, cursor + 1)
             else:
                 finished.append(vehicle)
         gateway.pump()
         for vehicle in finished:
-            index, _ = active.pop(vehicle)
+            del active[vehicle]
             # A vehicle bound (max_vehicles) may have evicted this vehicle
             # after its last fix; its sessions already surfaced then.
             if vehicle not in gateway.active_vehicles:
                 continue
-            for session in gateway.end(vehicle):
-                results[index].append(session.result)
-    return results
+            route(gateway.end(vehicle))
+        if async_mode:
+            route(gateway.poll_sessions())
+        await asyncio.sleep(0)
+    if async_mode:
+        while gateway.pending_sessions:
+            if gateway.pump() == 0:
+                await asyncio.sleep(poll_wait_s)
+            route(gateway.poll_sessions())
+        for sessions in sessions_of:
+            # Bus completion order is per-shard, not per-vehicle; session
+            # numbers restore close order. The sort is stable, so the
+            # generations of one (lattice-broken) session keep the order
+            # their shard published them in.
+            sessions.sort(key=lambda session: session.session_key[1])
+    return [[session.result for session in sessions]
+            for sessions in sessions_of]
+
+
+def serve_raw_fleet(
+    gateway: GpsGateway,
+    raw_trajectories: Sequence[RawTrajectory],
+    concurrency: int = 64,
+) -> List[List[DetectionResult]]:
+    """Synchronous :func:`serve_raw_fleet_async` — one ``asyncio.run`` deep.
+
+    Same rounds, same sessions, same labels (pinned by the differential
+    suites), for callers without an event loop. Works with either value of
+    ``async_sessions``.
+    """
+    return asyncio.run(serve_raw_fleet_async(gateway, raw_trajectories,
+                                             concurrency=concurrency))

@@ -38,7 +38,8 @@ from typing import Dict, Hashable, List, NamedTuple, Optional, Tuple
 
 from ..config import MapMatchingConfig
 from ..core.detector import DetectionResult
-from ..exceptions import MatchBreakError, UnmatchablePointError
+from ..exceptions import (MatchBreakError, ServiceError,
+                          UnmatchablePointError)
 from ..mapmatching.hmm import HMMMapMatcher
 from ..mapmatching.online import OnlineMapMatcher, OnlineMatchResult
 from ..roadnet.graph import RoadNetwork
@@ -64,6 +65,20 @@ class MatchPush(NamedTuple):
 
 class MatchFinish(NamedTuple):
     """Close one gateway session: decode the lattice, finalize its streams."""
+
+    key: Tuple[Hashable, int]
+
+
+class MatchFinishAsync(NamedTuple):
+    """Close one gateway session fire-and-forget, results over the bus.
+
+    The :class:`MatchFinish` twin for ``GatewayConfig(async_sessions=True)``:
+    routed through ``handle`` (batched, no reply slot), it runs the same
+    close and *publishes* one ``"session"`` envelope — keyed by the session
+    key, carrying the :class:`SessionClose` list (possibly empty, when not
+    a single fix matched) — to the shard's results bus, where the facade's
+    :meth:`GpsGateway.poll_sessions` picks it up.
+    """
 
     key: Tuple[Hashable, int]
 
@@ -121,6 +136,7 @@ class ShardMatcherPlane:
         self._shard_id = shard_id
         self._engine = engine
         self._matcher = matcher
+        self._publish = None  # bound by the backend when a bus is available
         self._sessions: Dict[Tuple[Hashable, int], _PlaneSession] = {}
         self._stats = MatcherShardStats(shard_id=shard_id)
 
@@ -129,9 +145,19 @@ class ShardMatcherPlane:
         return self._matcher
 
     # --------------------------------------------------------- plane contract
+    def bind_bus(self, publish) -> None:
+        """Receive the shard bus's ``publish`` (called by the backend at
+        install time); enables :class:`MatchFinishAsync`."""
+        self._publish = publish
+
     def handle(self, command) -> None:
         if isinstance(command, MatchPush):
             self._push(command)
+        elif isinstance(command, MatchFinishAsync):
+            if self._publish is None:
+                raise ServiceError(
+                    "no results bus bound to this matcher plane")
+            self._publish("session", command.key, self._finish(command.key))
         else:
             raise TypeError(
                 f"unknown matcher-plane command {type(command).__name__}")

@@ -24,14 +24,21 @@ from .backends import (ControlUpdate, IngestEvent, InProcessBackend,
 from .checkpoint import (CHECKPOINT_VERSION, clone_model, load_model,
                          model_from_bytes, model_to_bytes, save_model,
                          weights_snapshot)
-from .metrics import GatewayStats, ServiceMetrics, ShardStats
-from .service import DetectionService, IngestStatus, serve_fleet
+from .metrics import BusStats, GatewayStats, ServiceMetrics, ShardStats
+from .resultbus import BusCollector, ResultEnvelope, ShardResultBus
+from .service import (DetectionService, IngestStatus, serve_fleet,
+                      serve_fleet_async)
 from .sharding import shard_of
 
 __all__ = [
     "DetectionService",
     "IngestStatus",
     "serve_fleet",
+    "serve_fleet_async",
+    "ResultEnvelope",
+    "ShardResultBus",
+    "BusCollector",
+    "BusStats",
     "ControlUpdate",
     "IngestEvent",
     "InProcessBackend",

@@ -29,6 +29,24 @@ carrying many points — the IPC-amortized path behind
 ``finalize`` / ``stats`` / ``swap`` / ``stop`` each produce exactly one
 reply ``(kind, payload)`` on the result queue.
 
+**Results bus.** On top of the request/reply protocol both backends run a
+push-based result plane (:mod:`repro.serve.resultbus`): a ``finalize_async``
+command is fire-and-forget — the shard finalizes the streams on its own
+clock and *publishes* each :class:`~repro.core.detector.DetectionResult`
+(or, on failure, one error envelope) to its :class:`~repro.serve.resultbus.
+ShardResultBus`. The process backend ships published envelopes over a
+dedicated per-shard bus queue, one message per batch (never the reply
+queue, whose one-reply-per-request pairing must stay undisturbed); the
+in-process backend hands them over directly at ``take_results``. Envelopes
+stay in the shard's unacked window until the facade acknowledges its
+watermark (``bus_ack``, fire-and-forget); ``bus_replay`` / ``bus_stats``
+are replied. Planes participate too: a plane exposing a ``bind_bus(publish)``
+method is handed the shard bus's ``publish`` at install time, which is how
+gateway sessions complete through the bus (:class:`~repro.ingest.shardmatch.
+MatchFinishAsync`). Because ``finalize_async`` rides the same FIFO as
+ingest, every point queued before it is applied before the finalize — the
+exact boundary the synchronous ``finalize`` observes.
+
 **Work planes.** Either backend can additionally host one *plane* per
 shard: an opaque work object built next to the shard's engine by a
 caller-supplied picklable factory (``factory(shard_id, engine) -> plane``)
@@ -70,7 +88,8 @@ from ..core.stream import StreamEngine
 from ..exceptions import ServiceError
 from ..history import HistorySnapshot, clone_snapshot
 from .checkpoint import WeightsSnapshot, model_from_bytes
-from .metrics import ShardStats
+from .metrics import BusStats, ShardStats
+from .resultbus import ResultEnvelope, ShardResultBus
 
 #: Seconds a worker sleeps on its command queue when fully idle.
 _IDLE_WAIT_S = 0.05
@@ -172,6 +191,54 @@ class ServiceBackend:
                  vehicle_ids: Sequence[Hashable]) -> List[DetectionResult]:
         raise NotImplementedError
 
+    # ------------------------------------------------------------ results bus
+    def finalize_async(self, shard: int,
+                       vehicle_ids: Sequence[Hashable]) -> bool:
+        """Queue a fire-and-forget finalize; results arrive over the bus.
+
+        One command (one queue slot / one IPC put) per per-shard batch,
+        like :meth:`ingest_batch` — ``False`` means the shard queue is full
+        and nothing was queued. The shard publishes one ``"result"``
+        envelope per vehicle (input order) or a single ``"error"`` envelope
+        for the whole batch to its :class:`~repro.serve.resultbus.
+        ShardResultBus`.
+        """
+        raise NotImplementedError
+
+    def take_results(self,
+                     max_items: Optional[int] = None) -> List[ResultEnvelope]:
+        """Drain published envelopes from every shard's bus, batched.
+
+        At-least-once: a replay can hand the caller envelopes it has seen
+        before, so consumers dedup through a :class:`~repro.serve.resultbus.
+        BusCollector`. ``max_items`` is a soft bound (whole batches are
+        taken).
+        """
+        raise NotImplementedError
+
+    def ack_results(self, shard: int, up_to_seq: int) -> None:
+        """Acknowledge one shard's envelopes up to a sequence watermark.
+
+        Best-effort and fire-and-forget: an ack that cannot be sent right
+        now (full command queue) is retried on the next
+        :meth:`take_results`; until then the shard just retains a slightly
+        longer unacked window.
+        """
+        raise NotImplementedError
+
+    def replay_results(self) -> int:
+        """Re-queue every shard's unacked window; returns envelopes re-queued.
+
+        The fault-injection/recovery lever of the at-least-once contract —
+        after this, :meth:`take_results` redelivers everything not yet
+        acknowledged (subscribers drop what they already accepted).
+        """
+        raise NotImplementedError
+
+    def bus_stats(self) -> List[BusStats]:
+        """Every shard bus's counters, in shard order."""
+        raise NotImplementedError
+
     def swap(self, update: ControlUpdate) -> None:
         raise NotImplementedError
 
@@ -218,7 +285,11 @@ class _InProcessShard:
         self.shard_id = shard_id
         self.engine = engine
         self.queue_depth = queue_depth
-        self.queue: Deque[IngestEvent] = deque()
+        # IngestEvent entries interleaved with ("finalize_async", ids)
+        # markers — FIFO, so an async finalize sees exactly the points
+        # queued before it, like the worker protocol's command order.
+        self.queue: Deque = deque()
+        self.bus = ShardResultBus(shard_id)
         self.busy_seconds = 0.0
         self.swaps = 0
         self.plane = None
@@ -226,9 +297,28 @@ class _InProcessShard:
     def dispatch(self) -> None:
         """Apply every queued event to the engine (cheap: just buffering)."""
         started = time.perf_counter()
-        while self.queue:
-            apply_event(self.engine, self.queue.popleft())
+        queue = self.queue
+        engine = self.engine
+        while queue:
+            item = queue.popleft()
+            if item.__class__ is IngestEvent:
+                engine.ingest(item.vehicle_id, item.segment,
+                              destination=item.destination,
+                              start_time_s=item.start_time_s,
+                              trajectory_id=item.trajectory_id)
+            else:
+                self._finalize_to_bus(item[1])
         self.busy_seconds += time.perf_counter() - started
+
+    def _finalize_to_bus(self, vehicle_ids: Sequence[Hashable]) -> None:
+        """Run one queued async finalize; publish results (or the error)."""
+        try:
+            results = self.engine.finalize_many(vehicle_ids)
+        except BaseException as error:
+            self.bus.publish("error", tuple(vehicle_ids), error)
+            return
+        for vehicle_id, result in zip(vehicle_ids, results):
+            self.bus.publish("result", vehicle_id, result)
 
     def tick(self) -> int:
         started = time.perf_counter()
@@ -293,6 +383,36 @@ class InProcessBackend(ServiceBackend):
         finally:
             state.busy_seconds += time.perf_counter() - started
 
+    # ------------------------------------------------------------ results bus
+    def finalize_async(self, shard: int,
+                       vehicle_ids: Sequence[Hashable]) -> bool:
+        state = self._shards[shard]
+        if len(state.queue) >= state.queue_depth:
+            return False
+        state.queue.append(("finalize_async", list(vehicle_ids)))
+        return True
+
+    def take_results(self,
+                     max_items: Optional[int] = None) -> List[ResultEnvelope]:
+        envelopes: List[ResultEnvelope] = []
+        for state in self._shards:
+            if state.bus.depth:
+                budget = (None if max_items is None
+                          else max_items - len(envelopes))
+                if budget is not None and budget <= 0:
+                    break
+                envelopes.extend(state.bus.take(budget))
+        return envelopes
+
+    def ack_results(self, shard: int, up_to_seq: int) -> None:
+        self._shards[shard].bus.ack(up_to_seq)
+
+    def replay_results(self) -> int:
+        return sum(state.bus.replay() for state in self._shards)
+
+    def bus_stats(self) -> List[BusStats]:
+        return [state.bus.stats() for state in self._shards]
+
     def swap(self, update: ControlUpdate) -> None:
         # Quiesce first so every point already accepted is labeled by the old
         # weights/history — the same boundary the process backend's FIFO
@@ -336,6 +456,8 @@ class InProcessBackend(ServiceBackend):
     def install_plane(self, factory) -> None:
         for state in self._shards:
             state.plane = factory(state.shard_id, state.engine)
+            if hasattr(state.plane, "bind_bus"):
+                state.plane.bind_bus(state.bus.publish)
 
     def _plane(self, shard: int):
         plane = self._shards[shard].plane
@@ -385,15 +507,25 @@ class InProcessBackend(ServiceBackend):
 
 # ------------------------------------------------------------ multi-process
 def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
-                  commands, results) -> None:
+                  commands, results, bus_queue) -> None:
     """Worker main loop: rebuild the model from its pickled snapshot, then
     serve commands forever (see the module docstring for the protocol)."""
     model = model_from_bytes(blob)
     engine = model.stream_engine(**engine_overrides)
+    bus = ShardResultBus(shard_id)
+    # Unflushed bus batches must never block this process's exit (the
+    # facade stops reading at close; whatever is still buffered then is as
+    # lost as any other in-flight work).
+    bus_queue.cancel_join_thread()
     busy_seconds = 0.0
     swaps = 0
     plane = None
     pending_error: Optional[BaseException] = None
+
+    def flush_bus() -> None:
+        """Ship the outbox toward the facade: one message per batch."""
+        if bus.depth:
+            bus_queue.put(bus.take())
 
     def timed_tick() -> int:
         nonlocal busy_seconds
@@ -419,8 +551,23 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
         nonlocal busy_seconds, swaps, plane, pending_error
         kind = command[0]
         if kind == "stop":
+            flush_bus()
             reply("stopped")
             return False
+        if kind == "finalize_async":
+            started = time.perf_counter()
+            try:
+                value = engine.finalize_many(command[1])
+            except BaseException as error:
+                bus.publish("error", tuple(command[1]), error)
+            else:
+                for vehicle_id, result in zip(command[1], value):
+                    bus.publish("result", vehicle_id, result)
+            busy_seconds += time.perf_counter() - started
+            return True
+        if kind == "bus_ack":
+            bus.ack(command[1])
+            return True
         if kind == "ingest":
             started = time.perf_counter()
             try:
@@ -481,7 +628,13 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
                 reply("swapped")
             elif kind == "install_plane":
                 plane = command[1](shard_id, engine)
+                if hasattr(plane, "bind_bus"):
+                    plane.bind_bus(bus.publish)
                 reply("plane_installed")
+            elif kind == "bus_replay":
+                reply("bus_replayed", bus.replay())
+            elif kind == "bus_stats":
+                reply("bus_stats", bus.stats())
             elif kind == "plane_request":
                 if plane is None:
                     raise ServiceError("no plane installed on this shard")
@@ -529,6 +682,7 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
         if not running:
             break
         advanced = timed_tick()
+        flush_bus()
         if handled == 0 and advanced == 0:
             # Fully idle: block (briefly) instead of spinning.
             try:
@@ -551,9 +705,16 @@ class _ProcessShard:
         self.shard_id = shard_id
         self.commands = context.Queue(maxsize=queue_depth)
         self.results = context.Queue()
+        # The results *bus* channel: worker-published envelope batches, one
+        # message each. Deliberately separate from `results`, whose strict
+        # one-reply-per-request pairing pushed publications would desync.
+        self.bus = context.Queue()
+        self.pending_ack = 0   # highest watermark the facade wants acked
+        self.sent_ack = 0      # highest watermark actually sent to the worker
         self.process = context.Process(
             target=_shard_worker,
-            args=(shard_id, blob, engine_overrides, self.commands, self.results),
+            args=(shard_id, blob, engine_overrides, self.commands,
+                  self.results, self.bus),
             daemon=True,
             name=f"repro-serve-shard-{shard_id}",
         )
@@ -633,6 +794,51 @@ class ProcessBackend(ServiceBackend):
         return self._request(self._shards[shard],
                              ("finalize", list(vehicle_ids)), "finalized")
 
+    # ------------------------------------------------------------ results bus
+    def finalize_async(self, shard: int,
+                       vehicle_ids: Sequence[Hashable]) -> bool:
+        try:
+            self._shards[shard].commands.put_nowait(
+                ("finalize_async", list(vehicle_ids)))
+        except queue_module.Full:
+            return False
+        return True
+
+    def take_results(self,
+                     max_items: Optional[int] = None) -> List[ResultEnvelope]:
+        envelopes: List[ResultEnvelope] = []
+        for shard in self._shards:
+            self._send_ack(shard)  # retry an ack an earlier full queue refused
+            while max_items is None or len(envelopes) < max_items:
+                try:
+                    envelopes.extend(shard.bus.get_nowait())
+                except queue_module.Empty:
+                    break
+        return envelopes
+
+    def ack_results(self, shard: int, up_to_seq: int) -> None:
+        state = self._shards[shard]
+        if up_to_seq > state.pending_ack:
+            state.pending_ack = up_to_seq
+        self._send_ack(state)
+
+    def _send_ack(self, state: "_ProcessShard") -> None:
+        if state.pending_ack <= state.sent_ack:
+            return
+        try:
+            state.commands.put_nowait(("bus_ack", state.pending_ack))
+        except queue_module.Full:
+            return  # retried on the next take_results
+        state.sent_ack = state.pending_ack
+
+    def replay_results(self) -> int:
+        return sum(self._request(shard, ("bus_replay",), "bus_replayed")
+                   for shard in self._shards)
+
+    def bus_stats(self) -> List[BusStats]:
+        return [self._request(shard, ("bus_stats",), "bus_stats")
+                for shard in self._shards]
+
     def swap(self, update: ControlUpdate) -> None:
         # Broadcast first so shards swap concurrently, then await each ack.
         # Per-shard FIFO still guarantees every already-eligible point is
@@ -706,9 +912,17 @@ class ProcessBackend(ServiceBackend):
                 except queue_module.Full:  # pragma: no cover - wedged worker
                     pass
         for shard in self._shards:
+            # Drain straggler bus batches so the worker's queue feeder
+            # thread cannot wedge its exit on an unread pipe.
+            while True:
+                try:
+                    shard.bus.get_nowait()
+                except (queue_module.Empty, OSError, ValueError):
+                    break
             shard.process.join(timeout=5.0)
             if shard.process.is_alive():  # pragma: no cover - wedged worker
                 shard.process.terminate()
                 shard.process.join(timeout=5.0)
             shard.commands.close()
             shard.results.close()
+            shard.bus.close()

@@ -76,6 +76,46 @@ class ShardStats:
 
 
 @dataclass
+class BusStats:
+    """A point-in-time snapshot of one shard's results bus.
+
+    Produced by :class:`~repro.serve.resultbus.ShardResultBus` and surfaced
+    through :meth:`DetectionService.bus_stats` / :meth:`DetectionService.
+    metrics`. ``depth`` is the outbox (published, not yet taken toward the
+    facade); ``unacked`` the at-least-once retention window (taken, not yet
+    acknowledged); ``lag`` their sum — how far the shard's publications run
+    ahead of the facade's confirmed consumption. ``redelivered`` counts
+    envelopes re-queued by a replay; a healthy run that never replays keeps
+    it 0.
+    """
+
+    shard_id: int
+    published: int = 0
+    delivered: int = 0
+    redelivered: int = 0
+    acked_seq: int = 0
+    depth: int = 0
+    unacked: int = 0
+
+    @property
+    def lag(self) -> int:
+        """Published envelopes not yet acknowledged by the facade."""
+        return self.depth + self.unacked
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "published": self.published,
+            "delivered": self.delivered,
+            "redelivered": self.redelivered,
+            "acked_seq": self.acked_seq,
+            "depth": self.depth,
+            "unacked": self.unacked,
+            "lag": self.lag,
+        }
+
+
+@dataclass
 class MatcherShardStats:
     """A point-in-time snapshot of one shard's colocated online matcher.
 
@@ -229,11 +269,16 @@ class ServiceMetrics:
     accepted_ingests: int = 0
     rejected_ingests: int = 0
     batched_ingests: int = 0
+    async_finalizes: int = 0
     model_version: int = 0
     history_version: int = 0
     history_refreshes: int = 0
     gateway: Optional[GatewayStats] = None
     matchers: List[MatcherShardStats] = field(default_factory=list)
+    bus: List[BusStats] = field(default_factory=list)
+    results_delivered: int = 0
+    results_duplicates: int = 0
+    results_pending: int = 0
 
     @property
     def num_shards(self) -> int:
@@ -262,6 +307,15 @@ class ServiceMetrics:
     def rejection_rate(self) -> float:
         total = self.accepted_ingests + self.rejected_ingests
         return self.rejected_ingests / total if total else 0.0
+
+    @property
+    def bus_lag(self) -> int:
+        """Fleet-wide envelopes published but not yet acknowledged."""
+        return sum(stats.lag for stats in self.bus)
+
+    @property
+    def bus_redelivered(self) -> int:
+        return sum(stats.redelivered for stats in self.bus)
 
     def throughput_report(self, name: str = "DetectionService",
                           total_seconds: Optional[float] = None
@@ -300,6 +354,15 @@ class ServiceMetrics:
                 f"queue {shard.queue_depth}, pending {shard.pending_points}, "
                 f"cache {shard.cache_hit_rate:.1%}, swaps {shard.swaps}, "
                 f"history v{shard.history_version}")
+        if self.bus:
+            lines.append(
+                f"  results bus: "
+                f"{sum(s.published for s in self.bus)} published, "
+                f"{self.results_delivered} accepted at the facade "
+                f"({self.results_duplicates} duplicates dropped, "
+                f"{self.bus_redelivered} redelivered), "
+                f"lag {self.bus_lag}, pending {self.results_pending}, "
+                f"{self.async_finalizes} async finalizes")
         for matcher in self.matchers:
             lines.append(
                 f"  matcher[{matcher.shard_id}]: "

@@ -1,0 +1,201 @@
+"""The at-least-once results bus between shard workers and the facade.
+
+Synchronous ``finalize`` / ``plane_request`` calls pay one blocking
+command/reply round trip per result — fine for a batch job, fatal for a
+driver multiplexing thousands of sessions. The results bus inverts the
+flow: shards *push* finished work and the facade drains it in batches::
+
+    shard worker k                                facade
+    ─────────────────────────                     ─────────────────────────
+    finalize_async marker ──▶ engine.finalize_many
+                                  │ DetectionResult(s)
+                                  ▼
+                     ShardResultBus.publish        BusCollector.offer
+                       (seq = k's monotone         (per-shard watermark:
+                        counter)                    seq <= watermark is a
+                                  │                 duplicate, dropped)
+                                  ▼                        ▲
+                     take() ── one queue/IPC message ──────┘
+                       per batch of envelopes; unacked until
+                       ack(seq) ◀───────────── facade acks its watermark
+
+Delivery is **at-least-once**: a shard retains every taken envelope until
+the facade acknowledges its sequence number, and :meth:`ShardResultBus.
+replay` re-queues the unacknowledged tail (after a facade restart, a lost
+drain, or just for fault-injection tests). Exactly-once *processing* is
+recovered subscriber-side: sequence numbers are per-shard monotone, so the
+:class:`BusCollector`'s watermark drops every redelivered envelope, and —
+because one vehicle's results always come from one shard — per-vehicle
+result order is monotone too.
+
+Three envelope kinds flow over the bus:
+
+* ``"result"`` — one finalized stream; ``key`` is the vehicle id, the
+  payload its :class:`~repro.core.detector.DetectionResult`.
+* ``"session"`` — one closed gateway session (shard matcher placement);
+  ``key`` is the session key, the payload its list of
+  :class:`~repro.ingest.shardmatch.SessionClose` (one per generation —
+  possibly empty, when not a single fix of the session matched).
+* ``"error"`` — an async finalize that failed shard-side; ``key`` is the
+  tuple of vehicle ids of the failed batch, the payload the exception. The
+  facade raises it at the caller's next poll instead of silently losing
+  the streams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, NamedTuple, Optional
+
+from .metrics import BusStats
+
+
+class ResultEnvelope(NamedTuple):
+    """One published unit of finished work, stamped with its shard sequence."""
+
+    shard_id: int
+    seq: int
+    kind: str       # "result" | "session" | "error"
+    key: object     # vehicle id | session key | tuple of vehicle ids
+    payload: object
+
+
+class ShardResultBus:
+    """The publisher half: one per shard, colocated with its engine.
+
+    Single-producer (the shard worker), single-consumer (whoever drains the
+    shard's outbox toward the facade). ``publish`` stamps each envelope with
+    the shard's monotone sequence number; ``take`` moves a batch from the
+    outbox to the unacked retention window; ``ack`` trims the window;
+    ``replay`` re-queues it in front of everything fresher. Sequence
+    numbers are never reused, so however deliveries and replays interleave,
+    the subscriber's watermark keeps acceptance exactly-once and in order.
+    """
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self._next_seq = 1
+        self._outbox: Deque[ResultEnvelope] = deque()
+        self._unacked: Deque[ResultEnvelope] = deque()
+        self._published = 0
+        self._delivered = 0
+        self._redelivered = 0
+        self._acked_seq = 0
+
+    # --------------------------------------------------------------- publish
+    def publish(self, kind: str, key, payload) -> int:
+        """Append one envelope to the outbox; returns its sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._outbox.append(ResultEnvelope(self.shard_id, seq, kind, key,
+                                           payload))
+        self._published += 1
+        return seq
+
+    # --------------------------------------------------------------- deliver
+    def take(self, max_items: Optional[int] = None) -> List[ResultEnvelope]:
+        """Pop a batch off the outbox into the unacked retention window.
+
+        The batch is what rides one queue/IPC message toward the facade;
+        nothing is forgotten until :meth:`ack` covers it.
+        """
+        count = len(self._outbox)
+        if max_items is not None:
+            count = min(count, max_items)
+        batch = [self._outbox.popleft() for _ in range(count)]
+        self._unacked.extend(batch)
+        self._delivered += len(batch)
+        return batch
+
+    def ack(self, up_to_seq: int) -> None:
+        """Forget every envelope with ``seq <= up_to_seq``.
+
+        Also trims replayed duplicates still waiting in the outbox — any
+        outbox envelope at or below the acknowledged watermark has, by
+        sequence monotonicity, already been accepted by the subscriber.
+        """
+        while self._unacked and self._unacked[0].seq <= up_to_seq:
+            self._unacked.popleft()
+        while self._outbox and self._outbox[0].seq <= up_to_seq:
+            self._outbox.popleft()
+        if up_to_seq > self._acked_seq:
+            self._acked_seq = up_to_seq
+
+    def replay(self) -> int:
+        """Re-queue the whole unacked window for redelivery; returns its size.
+
+        The at-least-once lever: after a suspected lost delivery, everything
+        taken-but-unacknowledged goes back in front of fresher envelopes
+        (sequence order is preserved — unacked envelopes are always older
+        than the outbox). The subscriber's watermark drops whatever had in
+        fact arrived.
+        """
+        replayed = len(self._unacked)
+        if replayed:
+            self._unacked.extend(self._outbox)
+            self._outbox = self._unacked
+            self._unacked = deque()
+            self._redelivered += replayed
+        return replayed
+
+    # --------------------------------------------------------------- inspect
+    @property
+    def depth(self) -> int:
+        """Envelopes published but not yet taken."""
+        return len(self._outbox)
+
+    @property
+    def unacked_count(self) -> int:
+        """Envelopes taken but not yet acknowledged."""
+        return len(self._unacked)
+
+    def stats(self) -> BusStats:
+        return BusStats(
+            shard_id=self.shard_id,
+            published=self._published,
+            delivered=self._delivered,
+            redelivered=self._redelivered,
+            acked_seq=self._acked_seq,
+            depth=len(self._outbox),
+            unacked=len(self._unacked),
+        )
+
+
+class BusCollector:
+    """The subscriber half: per-shard watermark dedup at the facade.
+
+    :meth:`offer` filters a drained batch down to the envelopes not seen
+    before — at-least-once delivery in, exactly-once acceptance out. A gap
+    (an accepted sequence number more than one above the watermark) is
+    counted but not rejected: the bus's FIFO transports cannot reorder, so
+    a nonzero ``gaps`` means an envelope was *lost*, which the fuzz suite
+    pins at zero.
+    """
+
+    def __init__(self, num_shards: int):
+        self._watermarks = [0] * num_shards
+        self.received = 0
+        self.accepted = 0
+        self.duplicates = 0
+        self.gaps = 0
+
+    def watermark(self, shard_id: int) -> int:
+        """Highest sequence number accepted from one shard so far."""
+        return self._watermarks[shard_id]
+
+    def offer(self, envelopes: List[ResultEnvelope]) -> List[ResultEnvelope]:
+        """Accept the not-yet-seen envelopes of one drained batch, in order."""
+        accepted: List[ResultEnvelope] = []
+        watermarks = self._watermarks
+        for envelope in envelopes:
+            self.received += 1
+            watermark = watermarks[envelope.shard_id]
+            if envelope.seq <= watermark:
+                self.duplicates += 1
+                continue
+            if envelope.seq > watermark + 1:
+                self.gaps += envelope.seq - watermark - 1
+            watermarks[envelope.shard_id] = envelope.seq
+            accepted.append(envelope)
+        self.accepted += len(accepted)
+        return accepted

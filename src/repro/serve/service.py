@@ -31,17 +31,31 @@ single ingest facade:
   (:class:`~repro.serve.metrics.ServiceMetrics`): per-shard throughput,
   queue depth, cache hit rate, swap counts.
 
+* **Async result plane.** Beyond the synchronous request/reply calls, the
+  service runs a push-based results bus (:mod:`repro.serve.resultbus`):
+  :meth:`finalize_async` queues a fire-and-forget finalize marker on the
+  stream's shard FIFO, the shard publishes the
+  :class:`~repro.core.detector.DetectionResult` (sequence-numbered,
+  at-least-once) and :meth:`poll_results` drains whole batches of finished
+  work — no per-result round trip. This is what lets one driver multiplex
+  thousands of sessions: :func:`serve_fleet_async` ingests per-round
+  batches through :meth:`ingest_many` and collects completions off the bus.
+
 :func:`serve_fleet` replays a trajectory workload through a service the way
 :func:`~repro.core.stream.replay_fleet` replays it through one engine —
 including the retry-on-backpressure discipline — and is what the throughput
-benchmark and the differential tests drive.
+benchmark and the differential tests drive. It is a thin synchronous
+wrapper around :func:`serve_fleet_async` and label-identical to the
+round-trip-per-call driver it replaced.
 """
 
 from __future__ import annotations
 
+import asyncio
 import enum
 import time
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import (Dict, Hashable, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from ..core.detector import DetectionResult
 from ..core.rl4oasd import RL4OASDModel
@@ -53,7 +67,8 @@ from .backends import (ControlUpdate, IngestEvent, InProcessBackend,
                        ProcessBackend, ServiceBackend)
 from .checkpoint import (WeightsSnapshot, clone_model, model_to_bytes,
                          weights_snapshot)
-from .metrics import ServiceMetrics
+from .metrics import BusStats, ServiceMetrics
+from .resultbus import BusCollector, ResultEnvelope
 from .sharding import shard_of
 
 
@@ -96,9 +111,12 @@ class DetectionService:
         self._asdnet_template = model.asdnet
         self._num_shards = num_shards
         self._open: Dict[Hashable, int] = {}
+        self._pending_results: Dict[Hashable, int] = {}  # vehicle -> shard
+        self._collector = BusCollector(num_shards)
         self._accepted = 0
         self._rejected = 0
         self._batched_ingests = 0
+        self._async_finalizes = 0
         self._model_version = 1
         self._history_version = model.pipeline.history.version
         self._history_refreshes = 0
@@ -157,6 +175,10 @@ class DetectionService:
         return self._closed
 
     def shard_for(self, vehicle_id: Hashable) -> int:
+        # Hashing a vehicle id costs more than this branch; a single-shard
+        # service (the common dev/bench shape) skips it entirely.
+        if self._num_shards == 1:
+            return 0
         return shard_of(vehicle_id, self._num_shards)
 
     # -------------------------------------------------------------- ingest
@@ -241,36 +263,98 @@ class DetectionService:
         self._require_open_service()
         if not requests:
             return 0
+        by_shard, openers = self._plan_ingest(requests)
+        batches = self._deliver_batches(
+            by_shard, self._backend.ingest_batch,
+            self._ingest_delivered(openers), max_retries, "a batched ingest")
+        total_retries = 0
+        for _ in batches:
+            total_retries += 1
+            if self.pump() == 0:
+                time.sleep(retry_wait_s)
+        return total_retries
+
+    async def ingest_many_async(
+        self,
+        requests: Sequence[IngestEvent],
+        max_retries: int = 10000,
+        retry_wait_s: float = 0.0005,
+    ) -> int:
+        """:meth:`ingest_many` for asyncio drivers.
+
+        Identical semantics — same validation, same per-shard all-or-nothing
+        batches, same retry budget (they share the delivery loop) — but the
+        backpressure wait is an ``await asyncio.sleep``, so a slow shard
+        stalls only this coroutine, not the whole event loop.
+        """
+        self._require_open_service()
+        if not requests:
+            return 0
+        by_shard, openers = self._plan_ingest(requests)
+        batches = self._deliver_batches(
+            by_shard, self._backend.ingest_batch,
+            self._ingest_delivered(openers), max_retries, "a batched ingest")
+        total_retries = 0
+        for _ in batches:
+            total_retries += 1
+            if self.pump() == 0:
+                await asyncio.sleep(retry_wait_s)
+        return total_retries
+
+    def _plan_ingest(
+        self, requests: Sequence[IngestEvent]
+    ) -> Tuple[Dict[int, List[IngestEvent]], Dict[int, List[Hashable]]]:
+        """Validate a batch and group it per shard, preserving stream order."""
         opening: Dict[Hashable, int] = {}
         by_shard: Dict[int, List[IngestEvent]] = {}
         openers: Dict[int, List[Hashable]] = {}
         for request in requests:
-            event, opens = self._admit(IngestEvent(*request), opening)
+            if request.__class__ is not IngestEvent:
+                request = IngestEvent(*request)
+            event, opens = self._admit(request, opening)
             shard = self.shard_for(event.vehicle_id)
             if opens:
                 opening[event.vehicle_id] = shard
                 openers.setdefault(shard, []).append(event.vehicle_id)
-            by_shard.setdefault(shard, []).append(event)
-        total_retries = 0
-        for shard, events in by_shard.items():
-            retries = 0
-            while not self._backend.ingest_batch(shard, events):
-                self._rejected += 1
-                retries += 1
-                if retries > max_retries:
-                    raise ServiceError(
-                        f"shard {shard} queue stayed full after "
-                        f"{max_retries} retries of a batched ingest")
-                if self.pump() == 0:
-                    time.sleep(retry_wait_s)
-            total_retries += retries
+            bucket = by_shard.get(shard)
+            if bucket is None:
+                by_shard[shard] = [event]
+            else:
+                bucket.append(event)
+        return by_shard, openers
+
+    def _ingest_delivered(self, openers: Dict[int, List[Hashable]]):
+        def delivered(shard: int, events: List[IngestEvent]) -> None:
             self._accepted += len(events)
             self._batched_ingests += 1
             # Track this shard's new streams immediately, so a failure on a
             # *later* shard cannot leave delivered streams untracked.
             for vehicle_id in openers.get(shard, ()):
                 self._open[vehicle_id] = shard
-        return total_retries
+        return delivered
+
+    def _deliver_batches(self, by_shard: Dict[int, List], send, delivered,
+                         max_retries: int, what: str) -> Iterator[None]:
+        """Drive per-shard all-or-nothing delivery; yields once per refusal.
+
+        The retry *policy* (count the rejection, give up past the budget,
+        then pump-and-maybe-sleep before the next attempt) is shared by the
+        synchronous and asyncio callers — the caller's ``for`` body supplies
+        the wait primitive, so the two paths cannot drift apart. A shard's
+        batch is delivered exactly once; ``delivered`` runs immediately
+        after each delivery, before any later shard can fail.
+        """
+        for shard, batch in by_shard.items():
+            retries = 0
+            while not send(shard, batch):
+                self._rejected += 1
+                retries += 1
+                if retries > max_retries:
+                    raise ServiceError(
+                        f"shard {shard} queue stayed full after "
+                        f"{max_retries} retries of {what}")
+                yield
+            delivered(shard, batch)
 
     def _admit(self, request: IngestEvent, opening) -> Tuple[IngestEvent, bool]:
         """Validate one point and normalize it to its queued event.
@@ -283,6 +367,9 @@ class DetectionService:
         """
         self._vocabulary.token(request.segment)  # LabelingError, fail-fast
         if request.vehicle_id in self._open or request.vehicle_id in opening:
+            if (request.destination is None and request.start_time_s == 0.0
+                    and request.trajectory_id is None):
+                return request, False  # already normalized — the hot path
             return IngestEvent(request.vehicle_id, request.segment,
                                None, 0.0, None), False
         if request.destination is not None:
@@ -417,6 +504,136 @@ class DetectionService:
                 del self._open[vehicle_id]
         return [results[vehicle_id] for vehicle_id in vehicle_ids]
 
+    # ---------------------------------------------------------- results bus
+    def finalize_async(self, vehicle_ids: Sequence[Hashable],
+                       max_retries: int = 10000,
+                       retry_wait_s: float = 0.0005) -> int:
+        """Queue stream closes fire-and-forget; results arrive over the bus.
+
+        The push-based twin of :meth:`finalize_many`: instead of one
+        blocking round trip per shard, each shard gets **one** queued
+        finalize marker (FIFO with its pending ingest, so the close sees
+        exactly the points queued before it — the same boundary the
+        synchronous call observes) and publishes the
+        :class:`~repro.core.detector.DetectionResult` of every stream to
+        its results bus. Collect them with :meth:`poll_results` /
+        :meth:`drain_results`. Validation (duplicates, unknown vehicles)
+        happens here, synchronously; a shard-side failure — say a declared
+        destination the trip never reached — arrives as one ``"error"``
+        envelope carrying the exception. The vehicles move from *open* to
+        *pending* immediately (:attr:`results_pending`); a full shard queue
+        is ridden out with the :meth:`ingest_blocking` retry discipline.
+        Returns retries used.
+        """
+        self._require_open_service()
+        vehicle_ids = list(vehicle_ids)
+        if not vehicle_ids:
+            return 0
+        if len(set(vehicle_ids)) != len(vehicle_ids):
+            raise ServiceError("finalize_async got duplicate vehicle ids")
+        unknown = [v for v in vehicle_ids if v not in self._open]
+        if unknown:
+            raise ServiceError(f"no active stream for vehicles {unknown!r}")
+        by_shard: Dict[int, List[Hashable]] = {}
+        for vehicle_id in vehicle_ids:
+            by_shard.setdefault(self._open[vehicle_id], []).append(vehicle_id)
+
+        def delivered(shard: int, ids: List[Hashable]) -> None:
+            self._async_finalizes += 1
+            for vehicle_id in ids:
+                del self._open[vehicle_id]
+                self._pending_results[vehicle_id] = shard
+
+        batches = self._deliver_batches(
+            by_shard, self._backend.finalize_async, delivered,
+            max_retries, "an async finalize")
+        total_retries = 0
+        for _ in batches:
+            total_retries += 1
+            if self.pump() == 0:
+                time.sleep(retry_wait_s)
+        return total_retries
+
+    @property
+    def results_pending(self) -> int:
+        """Streams finalized asynchronously whose result has not arrived."""
+        return len(self._pending_results)
+
+    def poll_results(self,
+                     max_items: Optional[int] = None) -> List[ResultEnvelope]:
+        """Drain the results bus once, without blocking.
+
+        Returns the *newly accepted* envelopes, in per-shard sequence order
+        — at-least-once redeliveries are dropped here (dedup by sequence
+        number), and each shard's retention window is acknowledged up to
+        the highest sequence accepted, so the bus backlog stays bounded by
+        what is genuinely in flight. ``"result"`` envelopes carry one
+        :class:`~repro.core.detector.DetectionResult` keyed by vehicle id;
+        ``"error"`` envelopes carry a shard-side exception (the caller
+        decides whether to raise); ``"session"`` envelopes belong to a
+        gateway (:meth:`GpsGateway.poll_sessions`) and pass through
+        untouched. In-process shards only publish while pumped — call
+        :meth:`pump` (or let the driver) before polling.
+        """
+        self._require_open_service()
+        accepted = self._collector.offer(self._backend.take_results(max_items))
+        if not accepted:
+            return accepted
+        acks: Dict[int, int] = {}
+        for envelope in accepted:
+            if envelope.kind == "result":
+                self._pending_results.pop(envelope.key, None)
+            elif envelope.kind == "error":
+                for vehicle_id in envelope.key:
+                    self._pending_results.pop(vehicle_id, None)
+            acks[envelope.shard_id] = envelope.seq
+        for shard, seq in acks.items():
+            self._backend.ack_results(shard, seq)
+        return accepted
+
+    def drain_results(self, timeout_s: float = 120.0,
+                      poll_wait_s: float = 0.0005) -> List[ResultEnvelope]:
+        """Pump and poll until every pending async finalize has reported.
+
+        Returns every envelope accepted along the way (``"session"``
+        envelopes included — they are a gateway's to interpret, but they
+        must not be lost). Raises :class:`ServiceError` if results stop
+        arriving before ``timeout_s`` of no progress.
+        """
+        self._require_open_service()
+        collected = list(self.poll_results())
+        deadline = time.perf_counter() + timeout_s
+        while self._pending_results:
+            self.pump()
+            arrived = self.poll_results()
+            if arrived:
+                collected.extend(arrived)
+                deadline = time.perf_counter() + timeout_s
+                continue
+            if time.perf_counter() > deadline:
+                raise ServiceError(
+                    f"{len(self._pending_results)} async finalize result(s) "
+                    f"did not arrive within {timeout_s:.0f}s")
+            time.sleep(poll_wait_s)
+        return collected
+
+    def replay_results(self) -> int:
+        """Force redelivery of every unacknowledged envelope (all shards).
+
+        The at-least-once recovery lever (and the fault-injection hook the
+        fuzz suite leans on): whatever was taken off a shard bus but never
+        acknowledged is re-queued and will be handed out again by the next
+        :meth:`poll_results` — which drops the copies it already accepted.
+        Returns the number of envelopes re-queued.
+        """
+        self._require_open_service()
+        return self._backend.replay_results()
+
+    def bus_stats(self) -> List[BusStats]:
+        """Every shard's results-bus counters, in shard order."""
+        self._require_open_service()
+        return self._backend.bus_stats()
+
     # ------------------------------------------------------------- hot swap
     def swap(
         self,
@@ -535,9 +752,14 @@ class DetectionService:
             accepted_ingests=self._accepted,
             rejected_ingests=self._rejected,
             batched_ingests=self._batched_ingests,
+            async_finalizes=self._async_finalizes,
             model_version=self._model_version,
             history_version=self._history_version,
             history_refreshes=self._history_refreshes,
+            bus=self._backend.bus_stats(),
+            results_delivered=self._collector.accepted,
+            results_duplicates=self._collector.duplicates,
+            results_pending=len(self._pending_results),
         )
 
     # ------------------------------------------------------------ lifecycle
@@ -558,21 +780,29 @@ class DetectionService:
             raise ServiceError("the detection service is closed")
 
 
-def serve_fleet(
+async def serve_fleet_async(
     service: DetectionService,
     trajectories: Sequence[MatchedTrajectory],
     concurrency: int = 64,
     max_retries: int = 10000,
+    retry_wait_s: float = 0.0005,
 ) -> List[DetectionResult]:
-    """Replay trajectories through a service as a fleet of concurrent streams.
+    """Replay trajectories through a service as one asyncio fleet driver.
 
-    The service-side twin of :func:`~repro.core.stream.replay_fleet`: up to
-    ``concurrency`` trips in flight, one point per active vehicle per round,
-    one pump per round, finished trips finalized in shard-grouped batches.
-    Backpressure is ridden out with the retry discipline
-    (:meth:`DetectionService.ingest_blocking`), so a bounded queue slows the
-    replay down but never loses a stream. Results arrive in input order and
-    carry the caller's original trajectory objects.
+    The service-side twin of :func:`~repro.core.stream.replay_fleet`, built
+    on the amortized paths end to end: up to ``concurrency`` trips in
+    flight, each round's points (openers included) delivered as **one**
+    :meth:`~DetectionService.ingest_many_async` call — per-shard batches,
+    one queue/IPC message each — finished trips closed fire-and-forget
+    through :meth:`~DetectionService.finalize_async`, and completions
+    collected off the results bus with :meth:`~DetectionService.
+    poll_results`, so no finalize ever blocks the ingest loop. Backpressure
+    is ridden out with the shared retry discipline; a bounded queue slows
+    the replay down but never loses a stream. Yields to the event loop once
+    per round, so several drivers (or other coroutines) can share a loop.
+    Results arrive in input order and carry the caller's original
+    trajectory objects; a shard-side finalize failure is raised here, as
+    the synchronous driver would have raised it.
     """
     if concurrency < 1:
         raise ServiceError("concurrency must be positive")
@@ -580,33 +810,73 @@ def serve_fleet(
     backlog = list(enumerate(trajectories))
     backlog.reverse()  # pop() from the end preserves input order
     active: Dict[int, Tuple[int, int]] = {}  # vehicle -> (result index, cursor)
+    owner: Dict[int, int] = {}               # vehicle -> index, until result
+    outstanding = 0
     next_vehicle = 0
-    while backlog or active:
+    while backlog or active or outstanding:
+        events: List[IngestEvent] = []
         while backlog and len(active) < concurrency:
             index, trajectory = backlog.pop()
             vehicle = next_vehicle
             next_vehicle += 1
-            service.ingest_blocking(
-                vehicle, trajectory.segments[0],
-                max_retries=max_retries,
-                destination=trajectory.destination,
-                start_time_s=trajectory.start_time_s,
-                trajectory_id=trajectory.trajectory_id)
+            events.append(IngestEvent(
+                vehicle, trajectory.segments[0], trajectory.destination,
+                trajectory.start_time_s, trajectory.trajectory_id))
             active[vehicle] = (index, 1)
+            owner[vehicle] = index
         finished: List[int] = []
         for vehicle, (index, cursor) in active.items():
-            trajectory = trajectories[index]
-            if cursor < len(trajectory.segments):
-                service.ingest_blocking(vehicle, trajectory.segments[cursor],
-                                        max_retries=max_retries)
+            segments = trajectories[index].segments
+            if cursor < len(segments):
+                events.append(IngestEvent(vehicle, segments[cursor],
+                                          None, 0.0, None))
                 active[vehicle] = (index, cursor + 1)
             else:
                 finished.append(vehicle)
-        service.pump()
+        if events:
+            await service.ingest_many_async(events, max_retries=max_retries,
+                                            retry_wait_s=retry_wait_s)
         if finished:
-            for vehicle, result in zip(finished,
-                                       service.finalize_many(finished)):
-                index, _ = active.pop(vehicle)
-                result.trajectory = trajectories[index]
-                results[index] = result
+            for vehicle in finished:
+                del active[vehicle]
+            service.finalize_async(finished, max_retries=max_retries,
+                                   retry_wait_s=retry_wait_s)
+            outstanding += len(finished)
+        service.pump()
+        arrived = service.poll_results()
+        for envelope in arrived:
+            if envelope.kind == "error":
+                raise envelope.payload
+            if envelope.kind != "result":  # pragma: no cover - foreign plane
+                raise ServiceError(
+                    f"unexpected {envelope.kind!r} envelope in serve_fleet "
+                    f"(is a gateway sharing this service?)")
+            index = owner.pop(envelope.key)
+            result: DetectionResult = envelope.payload
+            result.trajectory = trajectories[index]
+            results[index] = result
+            outstanding -= 1
+        if events or arrived:
+            await asyncio.sleep(0)
+        else:
+            # Only waiting on shards (process backend workers finalize on
+            # their own clock): idle briefly instead of spinning the poll.
+            await asyncio.sleep(retry_wait_s)
     return results  # type: ignore[return-value]
+
+
+def serve_fleet(
+    service: DetectionService,
+    trajectories: Sequence[MatchedTrajectory],
+    concurrency: int = 64,
+    max_retries: int = 10000,
+) -> List[DetectionResult]:
+    """Synchronous :func:`serve_fleet_async` — one ``asyncio.run`` deep.
+
+    Same driver, same batched ingest and bus-collected finalizes, same
+    results (label-identical to the engine replay and in input order);
+    kept for callers without an event loop.
+    """
+    return asyncio.run(serve_fleet_async(
+        service, trajectories, concurrency=concurrency,
+        max_retries=max_retries))

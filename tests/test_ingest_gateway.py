@@ -604,3 +604,42 @@ def test_confidence_is_normalized_against_the_perfect_decode(
                               points_matched=0, forced_commits=0,
                               max_commit_lag=0)
     assert empty.confidence == 0.0
+
+
+# ------------------------------------------------------------ async sessions
+def test_async_sessions_poll_and_drain_explicitly(trained_model, dataset,
+                                                  dataset_split,
+                                                  offline_matcher):
+    """The poll/drain surface: closes return nothing, sessions stay pending
+    until the bus delivers them, and a stream finalized around the gateway
+    is rejected loudly instead of misattributed."""
+    _, _, test = dataset_split
+    raws = clean_raws(dataset, test[:2], seed=9)
+    reference = offline_reference(trained_model, offline_matcher, raws,
+                                  num_shards=1)
+    with trained_model.detection_service(num_shards=1) as service:
+        gateway = GpsGateway(service, offline_matcher,
+                             GatewayConfig(async_sessions=True))
+        for vehicle, raw in enumerate(raws):
+            for position, point in enumerate(raw.points):
+                assert gateway.push(
+                    vehicle, point.x, point.y, point.t,
+                    start_time_s=(raw.start_time_s if position == 0
+                                  else None)) == []
+        assert gateway.end_all() == []
+        assert gateway.pending_sessions == len(raws)
+        sessions = gateway.drain_sessions()
+        assert gateway.pending_sessions == 0
+        by_vehicle = {session.session_key[0]: session for session in sessions}
+        for vehicle, expected in enumerate(reference):
+            session = by_vehicle[vehicle]
+            assert session.result.labels == expected.labels
+            assert session.match is not None
+            assert session.confidence == session.match.confidence
+        # Someone else finalizing through the gateway's service poisons the
+        # shared bus; the gateway refuses to guess whose result that is.
+        service.ingest_blocking("interloper", test[0].segments[0])
+        service.finalize_async(["interloper"])
+        service.pump()
+        with pytest.raises(GatewayError):
+            gateway.poll_sessions()

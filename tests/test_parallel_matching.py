@@ -263,3 +263,35 @@ def test_matcher_plane_factory_pickles_without_shared_state(offline_matcher):
         plane.handle(("not", "a", "plane", "command"))
     with pytest.raises(TypeError):
         plane.request(("nor", "a", "request"))
+
+
+# ------------------------------------------------------------ async sessions
+@pytest.mark.fleet
+@pytest.mark.parametrize("placement,num_shards,backend", [
+    ("facade", 1, "inprocess"),
+    ("facade", 2, "process"),
+    ("shard", 3, "inprocess"),
+    ("shard", 2, "process")])
+def test_async_sessions_label_and_funnel_identical(
+        trained_model, dataset, dataset_split, offline_matcher,
+        placement, num_shards, backend):
+    """Satellite pin: ``GatewayConfig(async_sessions=True)`` — session
+    closes through the results bus instead of blocking finalize /
+    plane_request round trips — is label- and funnel-identical to the
+    synchronous close path, for both matcher placements, shard counts and
+    backends."""
+    _, development, test = dataset_split
+    fleet = (list(test) + list(development))[:8]
+    raws = clean_raws(dataset, fleet, seed=num_shards + 80)
+    sync_out, sync_stats, _, _ = run_placement(
+        trained_model, offline_matcher, raws, placement,
+        config={"ingest_batch": 8}, num_shards=num_shards, backend=backend)
+    async_out, async_stats, _, async_metrics = run_placement(
+        trained_model, offline_matcher, raws, placement,
+        config={"ingest_batch": 8, "async_sessions": True},
+        num_shards=num_shards, backend=backend)
+    assert labels_of(async_out) == labels_of(sync_out)
+    assert_same_funnel(sync_stats, async_stats)
+    assert async_stats.sessions_closed == len(fleet)
+    assert async_metrics.results_pending == 0
+    assert async_metrics.results_duplicates == 0
