@@ -56,7 +56,7 @@ from repro.experiments.common import prepare_city, train_rl4oasd
 from repro.ingest import GpsGateway, serve_raw_fleet
 from repro.mapmatching import HMMMapMatcher
 
-from conftest import bench_settings, record_result
+from conftest import bench_settings, maybe_record_json, record_result
 
 CONCURRENCY = 64
 WORKLOAD_TRIPS = 96
@@ -319,6 +319,7 @@ def main() -> None:
     results_dir.mkdir(parents=True, exist_ok=True)
     (results_dir / "gateway_throughput.txt").write_text(
         result["text"] + "\n", encoding="utf-8")
+    maybe_record_json("gateway_throughput", result)
     if result["mismatches"]:
         raise SystemExit("label mismatch between gateway and offline pipeline")
     if result["dropped"]:

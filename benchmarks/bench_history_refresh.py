@@ -42,7 +42,7 @@ from repro.history import RouteHistoryStore
 from repro.experiments.common import prepare_city, train_rl4oasd
 from repro.serve import serve_fleet
 
-from conftest import bench_settings, record_result
+from conftest import bench_settings, maybe_record_json, record_result
 
 CONCURRENCY = 64
 WORKLOAD_TRIPS = 96
@@ -209,6 +209,7 @@ def main() -> None:
     results_dir.mkdir(parents=True, exist_ok=True)
     (results_dir / "history_refresh.txt").write_text(
         result["text"] + "\n", encoding="utf-8")
+    maybe_record_json("history_refresh", result)
     if result["mismatches"]:
         raise SystemExit(
             "label mismatch between the refreshed and freshly-built service")

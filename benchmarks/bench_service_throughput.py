@@ -47,7 +47,7 @@ from repro.eval import measure_async_throughput, measure_throughput
 from repro.experiments.common import prepare_city, train_rl4oasd
 from repro.serve import serve_fleet, serve_fleet_async
 
-from conftest import bench_settings, record_result
+from conftest import bench_settings, maybe_record_json, record_result
 
 CONCURRENCY = 128
 WORKLOAD_TRIPS = 256
@@ -270,6 +270,7 @@ def main() -> None:
     results_dir.mkdir(parents=True, exist_ok=True)
     (results_dir / "service_throughput.txt").write_text(
         result["text"] + "\n", encoding="utf-8")
+    maybe_record_json("service_throughput", result)
     if result["mismatches"]:
         raise SystemExit("label mismatch between service and single engine")
     if not (result["rejected"] > 0 and result["complete"]):

@@ -28,7 +28,7 @@ from repro.core import replay_fleet
 from repro.eval import measure_throughput
 from repro.experiments.common import prepare_city, train_rl4oasd
 
-from conftest import bench_settings, record_result
+from conftest import bench_settings, maybe_record_json, record_result
 
 CONCURRENCY = 64
 WORKLOAD_TRIPS = 256
@@ -122,6 +122,7 @@ def test_bench_stream_tick(benchmark, throughput):
 def main() -> None:
     result = run_bench()
     print(result["text"])
+    maybe_record_json("stream_throughput", result)
     if result["mismatches"]:
         raise SystemExit("label mismatch between the two paths")
     if result["speedup"] < MIN_SPEEDUP:

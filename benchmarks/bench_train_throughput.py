@@ -28,7 +28,7 @@ import pytest
 from repro.eval import measure_training_throughput
 from repro.experiments.common import prepare_city, train_rl4oasd
 
-from conftest import bench_settings, record_result
+from conftest import bench_settings, maybe_record_json, record_result
 
 BATCH_SIZES = (8, 32, 64)
 WORKLOAD_TRIPS = 192
@@ -128,3 +128,4 @@ def test_bench_training_batch(benchmark, throughput):
 if __name__ == "__main__":
     result = run_bench()
     record_result("train_throughput", result["text"])
+    maybe_record_json("train_throughput", result)

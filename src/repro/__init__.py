@@ -17,6 +17,8 @@ The package is organised bottom-up:
   service, checkpoints, model hot-swap
 * :mod:`repro.ingest` — the raw-GPS streaming gateway: online incremental
   map matching feeding the detection service
+* :mod:`repro.obs` — observability: mergeable metrics, sampled per-fix
+  trace spans, Prometheus-style exposition and scrape endpoint
 * :mod:`repro.baselines` — IBOAT, DBTOD, CTSS, SAE/VSAE/GM-VSAE/SD-VSAE, …
 * :mod:`repro.eval` — F1/TF1 metrics, length grouping, timing harnesses
 * :mod:`repro.experiments` — one harness per table/figure of the paper
@@ -38,6 +40,7 @@ from .config import (
     GatewayConfig,
     LabelingConfig,
     MapMatchingConfig,
+    ObsConfig,
     RL4OASDConfig,
     RoadNetworkConfig,
     RSRNetConfig,
@@ -63,5 +66,6 @@ __all__ = [
     "TrainingConfig",
     "ServeConfig",
     "GatewayConfig",
+    "ObsConfig",
     "small_config",
 ]

@@ -266,6 +266,35 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Parameters of the observability plane (:mod:`repro.obs`).
+
+    ``trace_sample_rate`` is the probability that one raw fix (gateway
+    path) or one ingest event (direct service path) is traced through the
+    pipeline's seven stages; 0 (the default) keeps tracing fully off the
+    hot path — no context is ever allocated. ``keep_spans`` retains up to
+    ``max_spans`` individual :class:`~repro.obs.Span` records per tracer
+    for the JSONL export (stage histograms are always recorded for traced
+    fixes, spans are the optional detail). ``queue_wait_cap`` bounds the
+    always-on shard queue-wait reservoir (one sample per delivered ingest
+    command, mirroring the matcher's commit-lag reservoir).
+    """
+
+    trace_sample_rate: float = 0.0
+    trace_seed: int = 0x0B5
+    keep_spans: bool = True
+    max_spans: int = 10_000
+    queue_wait_cap: int = 4096
+
+    def validate(self) -> "ObsConfig":
+        _require(0.0 <= self.trace_sample_rate <= 1.0,
+                 "trace_sample_rate must be in [0, 1]")
+        _require(self.max_spans >= 0, "max_spans must be >= 0")
+        _require(self.queue_wait_cap >= 1, "queue_wait_cap must be >= 1")
+        return self
+
+
+@dataclass(frozen=True)
 class GatewayConfig:
     """Parameters of the raw-GPS ingest gateway (:mod:`repro.ingest`).
 
@@ -362,6 +391,7 @@ class RL4OASDConfig:
     training: TrainingConfig = field(default_factory=TrainingConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
     gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def validate(self) -> "RL4OASDConfig":
         self.road_network.validate()
@@ -374,6 +404,7 @@ class RL4OASDConfig:
         self.training.validate()
         self.serve.validate()
         self.gateway.validate()
+        self.obs.validate()
         return self
 
     def with_overrides(self, **sections) -> "RL4OASDConfig":

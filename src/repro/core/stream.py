@@ -55,6 +55,7 @@ from ..history import HistorySnapshot
 from ..labeling.features import PreprocessingPipeline
 from ..labeling.normal_routes import normal_transitions
 from ..nn.losses import softmax
+from ..obs.trace import TraceContext, timestamp as obs_timestamp
 from ..trajectory.models import MatchedTrajectory
 from ..trajectory.ops import split_by_labels
 from .asdnet import ASDNet
@@ -134,6 +135,13 @@ class _StreamState:
     previous_record: Optional[SegmentRecord] = None
     per_point_seconds: List[float] = field(default_factory=list)
     rng: Optional[np.random.Generator] = None
+    # Sampled trace contexts riding this stream: (segment index, context)
+    # pairs awaiting their tick, lazily allocated so untraced streams pay
+    # one falsy attribute check per tick and nothing else.
+    traces: Optional[List[Tuple[int, "TraceContext"]]] = None
+    # Sticky id of the last sampled fix — keeps the finalize/bus stages
+    # attributable after the per-point contexts have been consumed.
+    trace_id: Optional[int] = None
 
 
 class StreamEngine:
@@ -190,6 +198,10 @@ class StreamEngine:
         self.ticks = 0
         self.streams_finalized = 0
         self.history_refreshes = 0
+        # Optional repro.obs.Tracer the serving backends attach; the engine
+        # never originates traces, it only observes contexts riding ingests.
+        self.tracer = None
+        self._finalize_traced: Dict[Hashable, int] = {}
 
     @classmethod
     def from_model(cls, model: "RL4OASDModel", **overrides) -> "StreamEngine":
@@ -277,6 +289,7 @@ class StreamEngine:
         destination: Optional[int] = None,
         start_time_s: float = 0.0,
         trajectory_id: Optional[int] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         """Record the newest map-matched segment of one vehicle's trip.
 
@@ -300,6 +313,11 @@ class StreamEngine:
         elif stream.finalizing:
             raise ModelError(
                 f"stream {vehicle_id!r} is finalized; open a new stream")
+        if trace is not None:
+            if stream.traces is None:
+                stream.traces = []
+            stream.trace_id = trace.trace_id
+            stream.traces.append((len(stream.segments), trace))
         stream.segments.append(segment)
 
     def _open(
@@ -458,9 +476,23 @@ class StreamEngine:
             stream.previous_record = record
             if self._record_timing:
                 stream.per_point_seconds.append(share)
+            if stream.traces:
+                self._observe_tick(stream, index)
         self.points_processed += len(work)
         self.ticks += 1
         return len(work)
+
+    def _observe_tick(self, stream: _StreamState, index: int) -> None:
+        """Close the ``engine_tick`` span of a just-labeled traced point."""
+        tracer = self.tracer
+        now = obs_timestamp()
+        remaining = []
+        for position, trace in stream.traces:
+            if position > index:
+                remaining.append((position, trace))
+            elif tracer is not None:
+                tracer.observe("engine_tick", trace, now)
+        stream.traces = remaining or None
 
     def _normal_route_feature(self, stream: _StreamState, index: int,
                               segment: int) -> int:
@@ -506,6 +538,10 @@ class StreamEngine:
         if len(set(vehicle_ids)) != len(vehicle_ids):
             raise ModelError("finalize_many got duplicate vehicle ids")
         streams = [self._stream(vehicle_id) for vehicle_id in vehicle_ids]
+        traced = ([stream for stream in streams
+                   if stream.trace_id is not None]
+                  if self.tracer is not None else [])
+        started = obs_timestamp() if traced else 0.0
         for stream in streams:
             self._check_finalizable(stream)
         for stream in streams:
@@ -513,7 +549,24 @@ class StreamEngine:
         while any(stream.processed < len(stream.segments) for stream in streams):
             if self.tick() == 0:  # pragma: no cover - defensive
                 raise ModelError("stream drain made no progress")
-        return [self._complete(stream) for stream in streams]
+        results = [self._complete(stream) for stream in streams]
+        if traced:
+            # The drain ticks are shared by every closing stream, so each
+            # traced stream is attributed the whole call's duration — the
+            # latency its caller actually waited.
+            now = obs_timestamp()
+            for stream in traced:
+                self.tracer.observe(
+                    "finalize", TraceContext(stream.trace_id, started), now)
+                self._finalize_traced[stream.vehicle_id] = stream.trace_id
+        return results
+
+    def pop_finalize_traced(self) -> Dict[Hashable, int]:
+        """Drain ``{vehicle_id: trace_id}`` of traced streams finalized
+        since the last call (the serving backends stamp their result-bus
+        envelopes with these)."""
+        traced, self._finalize_traced = self._finalize_traced, {}
+        return traced
 
     def _check_finalizable(self, stream: _StreamState) -> None:
         if stream.finalizing:

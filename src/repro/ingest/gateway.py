@@ -62,8 +62,10 @@ from ..eval.timing import LatencyReport
 from ..exceptions import (GatewayError, MatchBreakError, UnmatchablePointError)
 from ..mapmatching.hmm import HMMMapMatcher
 from ..mapmatching.online import OnlineMapMatcher, OnlineMatchResult
+from ..obs.exposition import MetricsServer, render_prometheus
+from ..obs.trace import TraceContext, timestamp as obs_timestamp
 from ..serve.backends import IngestEvent
-from ..serve.metrics import GatewayStats, ServiceMetrics
+from ..serve.metrics import GatewayStats, ServiceMetrics, metrics_to_registry
 from ..serve.service import DetectionService
 from ..trajectory.models import GPSPoint, RawTrajectory
 from .shardmatch import (MatcherPlaneFactory, MatchFinish, MatchFinishAsync,
@@ -113,6 +115,9 @@ class _VehicleState:
     time_origin: float = 0.0
     session: Optional[_SessionState] = None
     next_session: int = 0
+    # Sampled trace contexts of buffered fixes, keyed by fix timestamp
+    # (lazy — stays None while tracing is off or nothing is sampled).
+    traces: Optional[Dict[float, TraceContext]] = None
 
 
 class GpsGateway:
@@ -160,6 +165,9 @@ class GpsGateway:
                                      Deque[Optional[Tuple]]] = {}
         self._next_trajectory_id = 0
         self._stats = GatewayStats()
+        # The *service's* tracer: one sampling decision at the gateway's
+        # front door covers the fix's whole journey down the pipeline.
+        self._tracer = service.tracer
         self._placement = self._config.matcher_placement
         if self._placement == "shard":
             # One OnlineMapMatcher per shard worker, installed as the
@@ -241,6 +249,12 @@ class GpsGateway:
             self._stats.duplicates_dropped += 1
             return []
         state.buffer.insert(position, point)
+        if self._tracer is not None:
+            trace = self._tracer.sample(obs_timestamp())
+            if trace is not None:
+                if state.traces is None:
+                    state.traces = {}
+                state.traces[point.t] = trace
         results: List[SessionResult] = list(evicted)
         while len(state.buffer) > self._config.reorder_window:
             released = state.buffer.pop(0)
@@ -512,6 +526,30 @@ class GpsGateway:
         return LatencyReport(name="GpsGateway",
                              samples=list(self._matcher.commit_lag_samples))
 
+    def metrics_text(self) -> str:
+        """The gateway-enriched dashboard in Prometheus exposition format.
+
+        The service's stage-latency histograms plus a registry view of
+        :meth:`metrics` — the same counters as the service's own
+        :meth:`~repro.serve.service.DetectionService.metrics_text`, with
+        the gateway funnel (and, under shard placement, the per-shard
+        matcher counters) attached.
+        """
+        registry = self._service.obs_registry()
+        metrics_to_registry(self.metrics(), registry)
+        return render_prometheus(registry)
+
+    def start_metrics_server(self, host: str = "127.0.0.1",
+                             port: int = 0) -> MetricsServer:
+        """Serve :meth:`metrics_text` on an HTTP ``/metrics`` endpoint.
+
+        The gateway twin of :meth:`DetectionService.start_metrics_server`;
+        the returned server is a context manager — close it with the
+        gateway's lifetime (closing the service closes service-started
+        endpoints, but the gateway has no close of its own).
+        """
+        return MetricsServer(self.metrics_text, host=host, port=port)
+
     # ------------------------------------------------------------- internals
     @staticmethod
     def _last_activity_abs(state: _VehicleState) -> float:
@@ -568,11 +606,18 @@ class GpsGateway:
             state.session = session
             self._stats.sessions_opened += 1
         session.last_point_t = point.t
+        trace = None
+        if state.traces is not None:
+            trace = state.traces.pop(point.t, None)
+            if trace is not None:
+                # Arrival → release from the reorder buffer.
+                trace = self._tracer.observe("gateway_ingest", trace,
+                                             obs_timestamp())
         if self._placement == "shard":
             # Everything match-driven happens on the session's shard; the
             # facade only batches the fix over (lattice breaks split the
             # trip plane-side — see repro.ingest.shardmatch).
-            self._push_match(state, session, point)
+            self._push_match(state, session, point, trace)
             return results
         try:
             emitted = self._matcher.push(session.key, point)
@@ -586,12 +631,19 @@ class GpsGateway:
             results.extend(self._deliver(vehicle_id, state, point))
             return results
         self._stats.matched_points += 1
+        if trace is not None:
+            # The sampled fix's matcher work; the context then rides the
+            # first segment this push committed into the service.
+            trace = self._tracer.observe("match_commit", trace,
+                                         obs_timestamp())
         for segment in emitted:
-            self._forward(session, segment)
+            self._forward(session, segment, trace)
+            trace = None
         return results
 
     def _push_match(self, state: _VehicleState, session: _SessionState,
-                    point: GPSPoint) -> None:
+                    point: GPSPoint,
+                    trace: Optional[TraceContext] = None) -> None:
         """Batch one released fix to the session's shard matcher."""
         if session.pushes == 0:
             # The session-opening push carries the facade-only metadata the
@@ -599,9 +651,9 @@ class GpsGateway:
             session.trajectory_id = self._next_trajectory_id
             self._next_trajectory_id += 1
             push = MatchPush(session.key, point, state.time_origin,
-                             session.trajectory_id)
+                             session.trajectory_id, trace)
         else:
-            push = MatchPush(session.key, point)
+            push = MatchPush(session.key, point, trace=trace)
         session.pushes += 1
         shard = self._service.shard_for(session.key)
         self._pending.setdefault(shard, []).append(push)
@@ -609,15 +661,17 @@ class GpsGateway:
         if self._pending_count >= self._config.ingest_batch:
             self.flush()
 
-    def _forward(self, session: _SessionState, segment: int) -> None:
+    def _forward(self, session: _SessionState, segment: int,
+                 trace: Optional[TraceContext] = None) -> None:
         """Send one committed segment of one session into the service."""
         if not session.opened:
             session.trajectory_id = self._next_trajectory_id
             self._next_trajectory_id += 1
             event = IngestEvent(session.key, segment, None,
-                                session.start_time_s, session.trajectory_id)
+                                session.start_time_s, session.trajectory_id,
+                                trace)
         else:
-            event = IngestEvent(session.key, segment, None, 0.0, None)
+            event = IngestEvent(session.key, segment, None, 0.0, None, trace)
         if self._config.ingest_batch == 1:
             self._service.ingest_blocking(
                 event.vehicle_id, event.segment,
@@ -625,7 +679,8 @@ class GpsGateway:
                 retry_wait_s=self._config.retry_wait_s,
                 destination=event.destination,
                 start_time_s=event.start_time_s,
-                trajectory_id=event.trajectory_id)
+                trajectory_id=event.trajectory_id,
+                trace=event.trace)
         else:
             shard = self._service.shard_for(event.vehicle_id)
             self._pending.setdefault(shard, []).append(event)

@@ -42,6 +42,7 @@ from ..exceptions import (MatchBreakError, ServiceError,
                           UnmatchablePointError)
 from ..mapmatching.hmm import HMMMapMatcher
 from ..mapmatching.online import OnlineMapMatcher, OnlineMatchResult
+from ..obs.trace import TraceContext, timestamp as obs_timestamp
 from ..roadnet.graph import RoadNetwork
 from ..serve.metrics import MatcherShardStats
 from ..trajectory.models import GPSPoint
@@ -55,12 +56,16 @@ class MatchPush(NamedTuple):
     ``origin`` is the vehicle's absolute time at ``t = 0``, so the plane can
     stamp ``origin + t`` start times on the generation streams it opens —
     including generations the facade never sees (post-break restarts).
+    ``trace`` is the fix's sampled trace context (``None`` almost always);
+    the plane observes ``shard_queue`` at receipt and ``match_commit``
+    around the matcher push.
     """
 
     key: Tuple[Hashable, int]
     point: GPSPoint
     origin: Optional[float] = None
     trajectory_id: Optional[int] = None
+    trace: Optional[TraceContext] = None
 
 
 class MatchFinish(NamedTuple):
@@ -139,6 +144,7 @@ class ShardMatcherPlane:
         self._publish = None  # bound by the backend when a bus is available
         self._sessions: Dict[Tuple[Hashable, int], _PlaneSession] = {}
         self._stats = MatcherShardStats(shard_id=shard_id)
+        self._finish_trace_id: Optional[int] = None  # of the last _finish
 
     @property
     def matcher(self) -> OnlineMapMatcher:
@@ -157,7 +163,11 @@ class ShardMatcherPlane:
             if self._publish is None:
                 raise ServiceError(
                     "no results bus bound to this matcher plane")
-            self._publish("session", command.key, self._finish(command.key))
+            closes = self._finish(command.key)
+            trace = (None if self._finish_trace_id is None
+                     else TraceContext(self._finish_trace_id,
+                                       obs_timestamp()))
+            self._publish("session", command.key, closes, trace)
         else:
             raise TypeError(
                 f"unknown matcher-plane command {type(command).__name__}")
@@ -200,6 +210,11 @@ class ShardMatcherPlane:
                 gen_start_s=origin + push.point.t,
             )
             self._sessions[push.key] = session
+        trace = push.trace
+        tracer = (getattr(self._engine, "tracer", None)
+                  if trace is not None else None)
+        if tracer is not None:
+            trace = tracer.observe("shard_queue", trace, obs_timestamp())
         while True:
             try:
                 emitted = self._matcher.push(push.key, push.point)
@@ -214,10 +229,17 @@ class ShardMatcherPlane:
                 continue
             break
         self._stats.matched_points += 1
+        if tracer is not None:
+            # The sampled fix's commit work; the context then rides the
+            # first segment this push committed (often an earlier fix's —
+            # commit lag — but it is this push's emission).
+            trace = tracer.observe("match_commit", trace, obs_timestamp())
         for segment in emitted:
-            self._forward(session, segment)
+            self._forward(session, segment, trace)
+            trace = None
 
     def _finish(self, key: Tuple[Hashable, int]) -> List[SessionClose]:
+        self._finish_trace_id = None
         session = self._sessions.pop(key, None)
         if session is None:
             # Every released fix of the session was late/duplicate-free yet
@@ -239,6 +261,11 @@ class ShardMatcherPlane:
             return closes
         result = self._engine.finalize_many([session.stream_key])[0]
         self._stats.sessions_closed += 1
+        pop_traced = getattr(self._engine, "pop_finalize_traced", None)
+        if pop_traced is not None:
+            # Session envelopes, not per-stream results, ride the bus here
+            # — remember the finishing stream's trace for the publish.
+            self._finish_trace_id = pop_traced().get(session.stream_key)
         closes.append(SessionClose(
             key=key, generation=session.generation, broken=broken,
             match=match, result=result))
@@ -251,6 +278,9 @@ class ShardMatcherPlane:
         self._stats.sessions_broken += 1
         if session.opened:
             result = self._engine.finalize_many([session.stream_key])[0]
+            pop_traced = getattr(self._engine, "pop_finalize_traced", None)
+            if pop_traced is not None:  # broken generations end their trace
+                pop_traced()
             self._stats.sessions_closed += 1
             session.completed.append(SessionClose(
                 key=session.key, generation=session.generation, broken=True,
@@ -267,14 +297,18 @@ class ShardMatcherPlane:
         session.gen_start_s = session.origin + restart_t
         self._stats.sessions_reopened += 1
 
-    def _forward(self, session: _PlaneSession, segment: int) -> None:
+    def _forward(self, session: _PlaneSession, segment: int,
+                 trace: Optional[TraceContext] = None) -> None:
         """One committed segment into the colocated engine, shard-locally."""
         if not session.opened:
             self._engine.ingest(session.stream_key, segment,
                                 destination=None,
                                 start_time_s=session.gen_start_s,
-                                trajectory_id=session.trajectory_id)
+                                trajectory_id=session.trajectory_id,
+                                trace=trace)
             session.opened = True
+        elif trace is not None:
+            self._engine.ingest(session.stream_key, segment, trace=trace)
         else:
             self._engine.ingest(session.stream_key, segment)
         session.segments_forwarded += 1

@@ -42,10 +42,10 @@ stream-side caller (the ingest gateway) can drop the fix or split the trip.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..obs.registry import Reservoir
 from ..exceptions import (DisconnectedRouteError, MapMatchingError,
                           MatchBreakError, UnmatchablePointError)
 from ..roadnet.shortest_path import dijkstra_route
@@ -154,13 +154,17 @@ class OnlineMapMatcher:
         self.forced_commits = 0
         self.max_commit_lag = 0
         self.commit_lag_sum = 0
-        self.commit_lag_samples: List[int] = []
         self._lag_sample_cap = lag_sample_cap
         # Seeded so latency reports are reproducible run to run; the seed
         # only shuffles which lags the capped reservoir retains.
-        self._lag_rng = random.Random(0x1A6)
+        self._lag_reservoir = Reservoir(lag_sample_cap, seed=0x1A6)
 
     # ------------------------------------------------------------ properties
+    @property
+    def commit_lag_samples(self) -> List[int]:
+        """The retained uniform sample of commit lags (read-only view)."""
+        return self._lag_reservoir.samples
+
     @property
     def matcher(self) -> HMMMapMatcher:
         return self._matcher
@@ -381,19 +385,13 @@ class OnlineMapMatcher:
     def _sample_lag(self, lag: int) -> None:
         """Reservoir-sample one commit lag (Algorithm R).
 
-        Must be called after ``self.commits`` has been incremented for this
-        commit. The first ``lag_sample_cap`` lags fill the reservoir; each
-        later lag replaces a uniformly random slot with probability
-        ``cap / commits``, so ``commit_lag_samples`` stays a uniform sample
-        of every commit ever made — a soak run's latency report reflects the
-        whole run, not just its startup window.
+        Delegates to the shared :class:`repro.obs.Reservoir` (one ``add``
+        per commit, so the reservoir's population counter tracks
+        ``self.commits`` exactly and the retained sample stays a uniform
+        sample of every commit ever made — a soak run's latency report
+        reflects the whole run, not just its startup window).
         """
-        if len(self.commit_lag_samples) < self._lag_sample_cap:
-            self.commit_lag_samples.append(lag)
-            return
-        slot = self._lag_rng.randrange(self.commits)
-        if slot < self._lag_sample_cap:
-            self.commit_lag_samples[slot] = lag
+        self._lag_reservoir.add(lag)
 
     def _commit(self, session: _Session,
                 choices: List[Tuple[_Column, int]]) -> List[int]:

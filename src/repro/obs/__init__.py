@@ -1,0 +1,47 @@
+"""Observability: mergeable metrics, sampled trace spans, text exposition.
+
+The pipeline's operational surface, built for the process backend's
+one-worker-per-shard reality: every primitive is picklable and merges
+exactly, so shard workers record into their own registries and ship them
+home with their existing stats replies.
+
+* :mod:`~repro.obs.registry` — :class:`Counter` / :class:`Gauge` /
+  fixed-bucket mergeable :class:`Histogram`, the :class:`MetricsRegistry`
+  that holds them, and the seeded :class:`Reservoir` sampler.
+* :mod:`~repro.obs.trace` — :class:`TraceContext` riding sampled fixes
+  through the seven pipeline stages (``STAGES``), the :class:`Tracer`
+  that originates and observes them (zero-cost at sample rate 0), and the
+  JSONL span export.
+* :mod:`~repro.obs.exposition` — :func:`render_prometheus` /
+  :func:`parse_prometheus` and the stdlib :class:`MetricsServer` scrape
+  endpoint.
+
+Entry points on the serving objects: ``DetectionService.metrics_text()`` /
+``GpsGateway.metrics_text()`` render the whole merged picture;
+``DetectionService.start_metrics_server()`` exposes it on ``/metrics``.
+"""
+
+from .registry import (Counter, Gauge, Histogram, MetricsRegistry, Reservoir,
+                       default_latency_buckets)
+from .trace import (STAGE_LATENCY_METRIC, STAGES, Span, TraceContext, Tracer,
+                    timestamp, write_spans_jsonl)
+from .exposition import MetricsServer, parse_prometheus, render_prometheus
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Reservoir",
+    "default_latency_buckets",
+    "STAGES",
+    "STAGE_LATENCY_METRIC",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "timestamp",
+    "write_spans_jsonl",
+    "MetricsServer",
+    "parse_prometheus",
+    "render_prometheus",
+]

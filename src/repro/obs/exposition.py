@@ -1,0 +1,204 @@
+"""Prometheus-style text exposition and the stdlib scrape endpoint.
+
+``render_prometheus`` turns a :class:`~repro.obs.MetricsRegistry` into the
+text format Prometheus scrapes (version 0.0.4): ``# HELP`` / ``# TYPE``
+headers, ``name{label="value"} value`` samples, histograms as cumulative
+``_bucket{le=...}`` series plus ``_sum`` and ``_count``. ``parse_prometheus``
+is the inverse for the sample lines (used by the golden tests to assert the
+exposition agrees with ``ServiceMetrics``). :class:`MetricsServer` serves
+the rendering on ``/metrics`` from a daemon thread — stdlib
+``http.server`` only, no new dependencies.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Tuple
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["MetricsServer", "parse_prometheus", "render_prometheus"]
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels_text(labels, extra=None) -> str:
+    parts = [f'{key}="{_escape(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines = []
+    seen_headers = set()
+    for metric in registry.collect():
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            help_text = registry.help_text(metric.name)
+            if help_text:
+                lines.append(f"# HELP {metric.name} {help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                le = 'le="' + _format_value(bound) + '"'
+                lines.append(f"{metric.name}_bucket"
+                             f"{_labels_text(metric.labels, le)} {cumulative}")
+            cumulative += metric.counts[-1]
+            le = 'le="+Inf"'
+            lines.append(f"{metric.name}_bucket"
+                         f"{_labels_text(metric.labels, le)} {cumulative}")
+            lines.append(f"{metric.name}_sum{_labels_text(metric.labels)} "
+                         f"{_format_value(metric.total)}")
+            lines.append(f"{metric.name}_count{_labels_text(metric.labels)} "
+                         f"{metric.count}")
+        else:
+            lines.append(f"{metric.name}{_labels_text(metric.labels)} "
+                         f"{_format_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+Sample = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def parse_prometheus(text: str) -> Dict[Sample, float]:
+    """Parse exposition sample lines back into ``{(name, labels): value}``.
+
+    Supports exactly what ``render_prometheus`` emits; raises
+    ``ValueError`` on anything it cannot parse, so a test that round-trips
+    the rendering also proves the output is well-formed.
+    """
+    samples: Dict[Sample, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, value_text = line.rpartition(" ")
+        if not body:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        if "{" in body:
+            name, _, label_text = body.partition("{")
+            if not label_text.endswith("}"):
+                raise ValueError(f"unbalanced labels in: {line!r}")
+            labels = []
+            for part in _split_labels(label_text[:-1]):
+                key, _, raw = part.partition("=")
+                if not (raw.startswith('"') and raw.endswith('"')):
+                    raise ValueError(f"unquoted label value in: {line!r}")
+                value = (raw[1:-1].replace(r'\"', '"')
+                         .replace(r"\n", "\n").replace(r"\\", "\\"))
+                labels.append((key, value))
+            key = (name, tuple(sorted(labels)))
+        else:
+            key = (body, ())
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        if key in samples:
+            raise ValueError(f"duplicate sample: {key}")
+        samples[key] = value
+    return samples
+
+
+def _split_labels(text: str):
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    parts, depth, current = [], False, []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            current.append(char)
+            current.append(text[index + 1])
+            index += 2
+            continue
+        if char == '"':
+            depth = not depth
+        if char == "," and not depth:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+class MetricsServer:
+    """A ``/metrics`` scrape endpoint over a render callable.
+
+    ``render`` is called per request on the server thread (it must be
+    thread-safe; ``DetectionService.metrics_text`` is — it only reads).
+    Port 0 (the default) picks a free port; read it back from ``.port``.
+    """
+
+    def __init__(self, render: Callable[[], str], host: str = "127.0.0.1",
+                 port: int = 0):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404)
+                    return
+                try:
+                    payload = server._render().encode("utf-8")
+                except Exception as error:  # noqa: BLE001 - surface, don't die
+                    self.send_error(500, str(error))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4; charset=utf-8")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):  # silence per-request stderr spam
+                pass
+
+        self._render = render
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-metrics-server",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

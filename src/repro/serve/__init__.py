@@ -24,7 +24,8 @@ from .backends import (ControlUpdate, IngestEvent, InProcessBackend,
 from .checkpoint import (CHECKPOINT_VERSION, clone_model, load_model,
                          model_from_bytes, model_to_bytes, save_model,
                          weights_snapshot)
-from .metrics import BusStats, GatewayStats, ServiceMetrics, ShardStats
+from .metrics import (BusStats, GatewayStats, ServiceMetrics, ShardStats,
+                      metrics_to_registry)
 from .resultbus import BusCollector, ResultEnvelope, ShardResultBus
 from .service import (DetectionService, IngestStatus, serve_fleet,
                       serve_fleet_async)
@@ -46,6 +47,7 @@ __all__ = [
     "GatewayStats",
     "ServiceMetrics",
     "ShardStats",
+    "metrics_to_registry",
     "shard_of",
     "CHECKPOINT_VERSION",
     "save_model",

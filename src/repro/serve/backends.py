@@ -26,8 +26,10 @@ Worker protocol (process backend): commands are tuples ``(kind, ...)`` on
 the bounded command queue; ``ingest`` and ``ingest_batch`` (one command
 carrying many points — the IPC-amortized path behind
 :meth:`DetectionService.ingest_many`) are fire-and-forget, while ``sync`` /
-``finalize`` / ``stats`` / ``swap`` / ``stop`` each produce exactly one
-reply ``(kind, payload)`` on the result queue.
+``finalize`` / ``stats`` / ``swap`` / ``obs`` / ``stop`` each produce
+exactly one reply ``(kind, payload)`` on the result queue (``obs`` ships the
+shard's cumulative metrics registry home by pickle and drains its trace
+spans — the observability plane of :mod:`repro.obs`).
 
 **Results bus.** On top of the request/reply protocol both backends run a
 push-based result plane (:mod:`repro.serve.resultbus`): a ``finalize_async``
@@ -87,6 +89,8 @@ from ..core.detector import DetectionResult
 from ..core.stream import StreamEngine
 from ..exceptions import ServiceError
 from ..history import HistorySnapshot, clone_snapshot
+from ..obs.registry import MetricsRegistry, Reservoir
+from ..obs.trace import TraceContext, Tracer, timestamp as obs_timestamp
 from .checkpoint import WeightsSnapshot, model_from_bytes
 from .metrics import BusStats, ShardStats
 from .resultbus import ResultEnvelope, ShardResultBus
@@ -105,6 +109,29 @@ class IngestEvent(NamedTuple):
     destination: Optional[int]
     start_time_s: float
     trajectory_id: Optional[int]
+    #: Sampled trace context riding this event (``None`` almost always).
+    #: Stamped where the event is created; the shard observes the
+    #: ``shard_queue`` stage when it dequeues the event.
+    trace: Optional[TraceContext] = None
+
+
+def _shard_tracer(shard_id: int, obs_options: Optional[dict]) -> Tracer:
+    """The observe-only tracer living next to one shard engine.
+
+    Rate 0 — shards never *originate* traces, they only observe contexts
+    that arrive on events — so a service with tracing off pays nothing
+    here beyond the objects' existence.
+    """
+    options = obs_options or {}
+    return Tracer(MetricsRegistry(), sample_rate=0.0,
+                  site=f"shard-{shard_id}",
+                  keep_spans=options.get("keep_spans", True),
+                  max_spans=options.get("max_spans", 10_000))
+
+
+def _queue_wait_reservoir(obs_options: Optional[dict]) -> Reservoir:
+    """The seeded enqueue→dequeue wait sampler of one shard queue."""
+    return Reservoir((obs_options or {}).get("queue_wait_cap", 4096))
 
 
 class ControlUpdate(NamedTuple):
@@ -141,7 +168,8 @@ def apply_event(engine: StreamEngine, event: IngestEvent) -> None:
     engine.ingest(event.vehicle_id, event.segment,
                   destination=event.destination,
                   start_time_s=event.start_time_s,
-                  trajectory_id=event.trajectory_id)
+                  trajectory_id=event.trajectory_id,
+                  trace=event.trace)
 
 
 class ServiceBackend:
@@ -245,6 +273,17 @@ class ServiceBackend:
     def stats(self) -> List[ShardStats]:
         raise NotImplementedError
 
+    # -------------------------------------------------------- observability
+    def obs_snapshot(self) -> List[tuple]:
+        """Every shard's ``(registry, spans)``, in shard order.
+
+        The registry is the shard tracer's cumulative metrics (a
+        point-in-time pickle copy on the process backend); the spans are
+        *drained* — each recorded span is returned exactly once across
+        repeated calls.
+        """
+        raise NotImplementedError
+
     # ----------------------------------------------------------- work planes
     def install_plane(self, factory) -> None:
         """Build one plane per shard: ``factory(shard_id, engine) -> plane``.
@@ -281,7 +320,8 @@ class ServiceBackend:
 
 # --------------------------------------------------------------- in-process
 class _InProcessShard:
-    def __init__(self, shard_id: int, engine: StreamEngine, queue_depth: int):
+    def __init__(self, shard_id: int, engine: StreamEngine, queue_depth: int,
+                 obs_options: Optional[dict] = None):
         self.shard_id = shard_id
         self.engine = engine
         self.queue_depth = queue_depth
@@ -293,21 +333,53 @@ class _InProcessShard:
         self.busy_seconds = 0.0
         self.swaps = 0
         self.plane = None
+        self.tracer = _shard_tracer(shard_id, obs_options)
+        self.engine.tracer = self.tracer
+        self.bus.tracer = self.tracer
+        self.queue_wait = _queue_wait_reservoir(obs_options)
+        # Queue-wait marks live *beside* the queue (never in it — the
+        # queue's length is the backpressure signal and must count only
+        # real commands): each enqueue appends (cumulative items enqueued,
+        # timestamp); dispatch fires a mark once it has popped that many.
+        self._wait_marks: Deque = deque()
+        self._enqueued = 0
+        self._dispatched = 0
+
+    def note_enqueue(self, items: int) -> None:
+        if items <= 0:
+            return
+        self._enqueued += items
+        self._wait_marks.append((self._enqueued, obs_timestamp()))
 
     def dispatch(self) -> None:
         """Apply every queued event to the engine (cheap: just buffering)."""
         started = time.perf_counter()
         queue = self.queue
         engine = self.engine
+        marks = self._wait_marks
         while queue:
             item = queue.popleft()
             if item.__class__ is IngestEvent:
-                engine.ingest(item.vehicle_id, item.segment,
-                              destination=item.destination,
-                              start_time_s=item.start_time_s,
-                              trajectory_id=item.trajectory_id)
+                trace = item.trace
+                if trace is None:
+                    engine.ingest(item.vehicle_id, item.segment,
+                                  destination=item.destination,
+                                  start_time_s=item.start_time_s,
+                                  trajectory_id=item.trajectory_id)
+                else:
+                    trace = self.tracer.observe("shard_queue", trace,
+                                                obs_timestamp())
+                    engine.ingest(item.vehicle_id, item.segment,
+                                  destination=item.destination,
+                                  start_time_s=item.start_time_s,
+                                  trajectory_id=item.trajectory_id,
+                                  trace=trace)
             else:
                 self._finalize_to_bus(item[1])
+            self._dispatched += 1
+            while marks and marks[0][0] <= self._dispatched:
+                _, enqueue_t = marks.popleft()
+                self.queue_wait.add(obs_timestamp() - enqueue_t)
         self.busy_seconds += time.perf_counter() - started
 
     def _finalize_to_bus(self, vehicle_ids: Sequence[Hashable]) -> None:
@@ -317,8 +389,17 @@ class _InProcessShard:
         except BaseException as error:
             self.bus.publish("error", tuple(vehicle_ids), error)
             return
+        traced = self.engine.pop_finalize_traced()
+        if not traced:
+            for vehicle_id, result in zip(vehicle_ids, results):
+                self.bus.publish("result", vehicle_id, result)
+            return
+        now = obs_timestamp()
         for vehicle_id, result in zip(vehicle_ids, results):
-            self.bus.publish("result", vehicle_id, result)
+            trace_id = traced.get(vehicle_id)
+            self.bus.publish(
+                "result", vehicle_id, result,
+                None if trace_id is None else TraceContext(trace_id, now))
 
     def tick(self) -> int:
         started = time.perf_counter()
@@ -333,11 +414,12 @@ class InProcessBackend(ServiceBackend):
     name = "inprocess"
 
     def __init__(self, model, num_shards: int, queue_depth: int,
-                 engine_overrides: Optional[dict] = None):
+                 engine_overrides: Optional[dict] = None,
+                 obs_options: Optional[dict] = None):
         overrides = dict(engine_overrides or {})
         self._shards = [
             _InProcessShard(shard_id, model.stream_engine(**overrides),
-                            queue_depth)
+                            queue_depth, obs_options)
             for shard_id in range(num_shards)
         ]
 
@@ -350,6 +432,7 @@ class InProcessBackend(ServiceBackend):
         if len(state.queue) >= state.queue_depth:
             return False
         state.queue.append(event)
+        state.note_enqueue(1)
         return True
 
     def ingest_batch(self, shard: int, events: Sequence[IngestEvent]) -> bool:
@@ -360,6 +443,7 @@ class InProcessBackend(ServiceBackend):
         if len(state.queue) >= state.queue_depth:
             return False
         state.queue.extend(events)
+        state.note_enqueue(len(events))
         return True
 
     def pump(self) -> int:
@@ -382,6 +466,10 @@ class InProcessBackend(ServiceBackend):
             return state.engine.finalize_many(vehicle_ids)
         finally:
             state.busy_seconds += time.perf_counter() - started
+            # Synchronous results never ride the bus, so their finalize
+            # traces end here — drain them lest a later async finalize of
+            # a reused vehicle id stamps a stale trace.
+            state.engine.pop_finalize_traced()
 
     # ------------------------------------------------------------ results bus
     def finalize_async(self, shard: int,
@@ -390,6 +478,7 @@ class InProcessBackend(ServiceBackend):
         if len(state.queue) >= state.queue_depth:
             return False
         state.queue.append(("finalize_async", list(vehicle_ids)))
+        state.note_enqueue(1)
         return True
 
     def take_results(self,
@@ -449,8 +538,14 @@ class InProcessBackend(ServiceBackend):
                 swaps=state.swaps,
                 history_version=engine.history_version,
                 history_refreshes=engine.history_refreshes,
+                queue_wait_samples=list(state.queue_wait.samples),
             ))
         return snapshots
+
+    # -------------------------------------------------------- observability
+    def obs_snapshot(self) -> List[tuple]:
+        return [(state.tracer.registry, state.tracer.take_spans())
+                for state in self._shards]
 
     # ----------------------------------------------------------- work planes
     def install_plane(self, factory) -> None:
@@ -507,7 +602,8 @@ class InProcessBackend(ServiceBackend):
 
 # ------------------------------------------------------------ multi-process
 def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
-                  commands, results, bus_queue) -> None:
+                  commands, results, bus_queue,
+                  obs_options: Optional[dict] = None) -> None:
     """Worker main loop: rebuild the model from its pickled snapshot, then
     serve commands forever (see the module docstring for the protocol)."""
     model = model_from_bytes(blob)
@@ -521,6 +617,10 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
     swaps = 0
     plane = None
     pending_error: Optional[BaseException] = None
+    tracer = _shard_tracer(shard_id, obs_options)
+    engine.tracer = tracer
+    bus.tracer = tracer
+    queue_wait = _queue_wait_reservoir(obs_options)
 
     def flush_bus() -> None:
         """Ship the outbox toward the facade: one message per batch."""
@@ -561,8 +661,18 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
             except BaseException as error:
                 bus.publish("error", tuple(command[1]), error)
             else:
-                for vehicle_id, result in zip(command[1], value):
-                    bus.publish("result", vehicle_id, result)
+                traced = engine.pop_finalize_traced()
+                if not traced:
+                    for vehicle_id, result in zip(command[1], value):
+                        bus.publish("result", vehicle_id, result)
+                else:
+                    now = obs_timestamp()
+                    for vehicle_id, result in zip(command[1], value):
+                        trace_id = traced.get(vehicle_id)
+                        bus.publish(
+                            "result", vehicle_id, result,
+                            None if trace_id is None
+                            else TraceContext(trace_id, now))
             busy_seconds += time.perf_counter() - started
             return True
         if kind == "bus_ack":
@@ -570,16 +680,27 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
             return True
         if kind == "ingest":
             started = time.perf_counter()
+            if len(command) > 2:  # enqueue timestamp (same monotonic clock)
+                queue_wait.add(started - command[2])
             try:
-                apply_event(engine, command[1])
+                event = command[1]
+                if event.trace is not None:
+                    event = event._replace(trace=tracer.observe(
+                        "shard_queue", event.trace, started))
+                apply_event(engine, event)
             except BaseException as error:  # surfaced at the next request
                 pending_error = error
             busy_seconds += time.perf_counter() - started
             return True
         if kind == "ingest_batch":
             started = time.perf_counter()
+            if len(command) > 2:
+                queue_wait.add(started - command[2])
             try:
                 for event in command[1]:
+                    if event.trace is not None:
+                        event = event._replace(trace=tracer.observe(
+                            "shard_queue", event.trace, started))
                     apply_event(engine, event)
             except BaseException as error:  # surfaced at the next request
                 pending_error = error
@@ -618,6 +739,7 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
                 started = time.perf_counter()
                 value = engine.finalize_many(command[1])
                 busy_seconds += time.perf_counter() - started
+                engine.pop_finalize_traced()  # sync results skip the bus
                 reply("finalized", value)
             elif kind == "swap":
                 quiesce()
@@ -635,6 +757,10 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
                 reply("bus_replayed", bus.replay())
             elif kind == "bus_stats":
                 reply("bus_stats", bus.stats())
+            elif kind == "obs":
+                # Registry rides home by pickle (cumulative — the facade
+                # merges into a fresh registry per call); spans drain.
+                reply("obs", (tracer.registry, tracer.take_spans()))
             elif kind == "plane_request":
                 if plane is None:
                     raise ServiceError("no plane installed on this shard")
@@ -662,6 +788,7 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
                     swaps=swaps,
                     history_version=engine.history_version,
                     history_refreshes=engine.history_refreshes,
+                    queue_wait_samples=list(queue_wait.samples),
                 ))
             else:
                 reply("error", ServiceError(f"unknown command {kind!r}"))
@@ -701,7 +828,8 @@ def _safe_qsize(q) -> int:
 
 class _ProcessShard:
     def __init__(self, shard_id: int, context, blob: bytes,
-                 engine_overrides: dict, queue_depth: int):
+                 engine_overrides: dict, queue_depth: int,
+                 obs_options: Optional[dict] = None):
         self.shard_id = shard_id
         self.commands = context.Queue(maxsize=queue_depth)
         self.results = context.Queue()
@@ -714,7 +842,7 @@ class _ProcessShard:
         self.process = context.Process(
             target=_shard_worker,
             args=(shard_id, blob, engine_overrides, self.commands,
-                  self.results, self.bus),
+                  self.results, self.bus, obs_options),
             daemon=True,
             name=f"repro-serve-shard-{shard_id}",
         )
@@ -729,14 +857,15 @@ class ProcessBackend(ServiceBackend):
     def __init__(self, blob: bytes, num_shards: int, queue_depth: int,
                  engine_overrides: Optional[dict] = None,
                  start_method: Optional[str] = None,
-                 request_timeout_s: float = _REQUEST_TIMEOUT_S):
+                 request_timeout_s: float = _REQUEST_TIMEOUT_S,
+                 obs_options: Optional[dict] = None):
         import multiprocessing
 
         context = multiprocessing.get_context(start_method)
         self._request_timeout_s = request_timeout_s
         self._shards = [
             _ProcessShard(shard_id, context, blob, dict(engine_overrides or {}),
-                          queue_depth)
+                          queue_depth, obs_options)
             for shard_id in range(num_shards)
         ]
         self._closed = False
@@ -768,8 +897,12 @@ class ProcessBackend(ServiceBackend):
         return payload
 
     def ingest(self, shard: int, event: IngestEvent) -> bool:
+        # The trailing timestamp is the queue-wait mark: perf_counter is
+        # CLOCK_MONOTONIC on Linux, comparable across this process and the
+        # worker, which subtracts it at receipt.
         try:
-            self._shards[shard].commands.put_nowait(("ingest", event))
+            self._shards[shard].commands.put_nowait(
+                ("ingest", event, obs_timestamp()))
         except queue_module.Full:
             return False
         return True
@@ -777,7 +910,7 @@ class ProcessBackend(ServiceBackend):
     def ingest_batch(self, shard: int, events: Sequence[IngestEvent]) -> bool:
         try:
             self._shards[shard].commands.put_nowait(
-                ("ingest_batch", list(events)))
+                ("ingest_batch", list(events), obs_timestamp()))
         except queue_module.Full:
             return False
         return True
@@ -868,6 +1001,11 @@ class ProcessBackend(ServiceBackend):
 
     def stats(self) -> List[ShardStats]:
         return [self._request(shard, ("stats",), "stats")
+                for shard in self._shards]
+
+    # -------------------------------------------------------- observability
+    def obs_snapshot(self) -> List[tuple]:
+        return [self._request(shard, ("obs",), "obs")
                 for shard in self._shards]
 
     # ----------------------------------------------------------- work planes

@@ -34,6 +34,10 @@ class ShardStats:
     swaps: int = 0
     history_version: int = 0
     history_refreshes: int = 0
+    #: Reservoir sample of shard queue-wait seconds (facade enqueue →
+    #: worker dequeue, one sample per delivered ingest command) — the
+    #: number that explains the 1-shard service-vs-engine overhead gap.
+    queue_wait_samples: List[float] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -72,6 +76,7 @@ class ShardStats:
             "swaps": self.swaps,
             "history_version": self.history_version,
             "history_refreshes": self.history_refreshes,
+            "queue_wait_samples": len(self.queue_wait_samples),
         }
 
 
@@ -377,3 +382,159 @@ class ServiceMetrics:
         if self.gateway is not None:
             lines.append(f"  {self.gateway.format()}")
         return "\n".join(lines)
+
+
+def metrics_to_registry(metrics: ServiceMetrics, registry=None):
+    """Express a :class:`ServiceMetrics` snapshot as a metrics registry.
+
+    The one mapping between the ``format()`` dashboards and the Prometheus
+    exposition: both read the same snapshot, so they can never disagree.
+    Writes into a fresh :class:`repro.obs.MetricsRegistry` (or the one
+    passed in) — callers merge the result with the trace registries for
+    the full scrape payload. Snapshot semantics: call again for a newer
+    view, never merge two views of the same service into one registry.
+    """
+    from ..obs.registry import MetricsRegistry
+
+    registry = registry if registry is not None else MetricsRegistry()
+    service_counters = {
+        "repro_service_accepted_ingests_total":
+            (metrics.accepted_ingests, "Ingest events accepted"),
+        "repro_service_rejected_ingests_total":
+            (metrics.rejected_ingests, "Ingest events rejected (backpressure)"),
+        "repro_service_batched_ingests_total":
+            (metrics.batched_ingests, "Batched ingest commands delivered"),
+        "repro_service_async_finalizes_total":
+            (metrics.async_finalizes, "Streams closed through the data plane"),
+        "repro_service_history_refreshes_total":
+            (metrics.history_refreshes, "Fleet-wide history hot-refreshes"),
+        "repro_service_results_delivered_total":
+            (metrics.results_delivered, "Envelopes accepted at the facade"),
+        "repro_service_results_duplicates_total":
+            (metrics.results_duplicates,
+             "Redelivered envelopes dropped by the watermark"),
+    }
+    for name, (value, help_text) in service_counters.items():
+        registry.counter(name, help=help_text).inc(value)
+    registry.gauge("repro_service_model_version",
+                   help="Model version the shards serve").set(
+        metrics.model_version)
+    registry.gauge("repro_service_history_version",
+                   help="History snapshot version the shards serve").set(
+        metrics.history_version)
+    registry.gauge("repro_service_results_pending",
+                   help="Async closes still in flight").set(
+        metrics.results_pending)
+
+    for shard in metrics.shards:
+        labels = {"shard": str(shard.shard_id)}
+        registry.counter("repro_shard_points_processed_total", labels,
+                         help="Points labeled by this shard").inc(
+            shard.points_processed)
+        registry.counter("repro_shard_ticks_total", labels,
+                         help="Batched ticks run by this shard").inc(
+            shard.ticks)
+        registry.counter("repro_shard_busy_seconds_total", labels,
+                         help="Wall clock this shard spent working").inc(
+            shard.busy_seconds)
+        registry.counter("repro_shard_streams_finalized_total", labels,
+                         help="Streams closed by this shard").inc(
+            shard.streams_finalized)
+        registry.counter("repro_shard_cache_hits_total", labels,
+                         help="Segment-feature cache hits").inc(
+            shard.cache_hits)
+        registry.counter("repro_shard_cache_misses_total", labels,
+                         help="Segment-feature cache misses").inc(
+            shard.cache_misses)
+        registry.counter("repro_shard_swaps_total", labels,
+                         help="Control-plane swaps applied").inc(shard.swaps)
+        registry.gauge("repro_shard_queue_depth", labels,
+                       help="Commands waiting in the shard queue").set(
+            shard.queue_depth)
+        registry.gauge("repro_shard_pending_points", labels,
+                       help="Points ingested but not yet labeled").set(
+            shard.pending_points)
+        registry.gauge("repro_shard_streams_open", labels,
+                       help="Streams currently in flight").set(
+            shard.streams_open)
+        registry.gauge("repro_shard_history_version", labels,
+                       help="History snapshot version this shard serves").set(
+            shard.history_version)
+
+    for bus in metrics.bus:
+        labels = {"shard": str(bus.shard_id)}
+        registry.counter("repro_bus_published_total", labels,
+                         help="Envelopes published on the shard bus").inc(
+            bus.published)
+        registry.counter("repro_bus_delivered_total", labels,
+                         help="Envelopes taken toward the facade").inc(
+            bus.delivered)
+        registry.counter("repro_bus_redelivered_total", labels,
+                         help="Envelopes re-queued by a replay").inc(
+            bus.redelivered)
+        registry.gauge("repro_bus_acked_seq", labels,
+                       help="Highest acknowledged sequence number").set(
+            bus.acked_seq)
+        registry.gauge("repro_bus_depth", labels,
+                       help="Published, not yet taken").set(bus.depth)
+        registry.gauge("repro_bus_unacked", labels,
+                       help="Taken, not yet acknowledged").set(bus.unacked)
+
+    for matcher in metrics.matchers:
+        labels = {"shard": str(matcher.shard_id)}
+        registry.counter("repro_matcher_matched_points_total", labels,
+                         help="Fixes matched by the shard plane").inc(
+            matcher.matched_points)
+        registry.counter("repro_matcher_segments_emitted_total", labels,
+                         help="Segments committed into the engine").inc(
+            matcher.segments_emitted)
+        registry.counter("repro_matcher_commits_total", labels,
+                         help="Match commits").inc(matcher.commits)
+        registry.counter("repro_matcher_forced_commits_total", labels,
+                         help="Window-forced commits").inc(
+            matcher.forced_commits)
+        registry.counter("repro_matcher_sessions_closed_total", labels,
+                         help="Matcher sessions finished").inc(
+            matcher.sessions_closed)
+        registry.gauge("repro_matcher_live_sessions", labels,
+                       help="Matcher sessions in flight").set(
+            matcher.live_sessions)
+
+    gateway = metrics.gateway
+    if gateway is not None:
+        registry.counter("repro_gateway_raw_points_total",
+                         help="Raw GPS fixes pushed into the gateway").inc(
+            gateway.raw_points)
+        registry.counter("repro_gateway_matched_points_total",
+                         help="Fixes matched to a road segment").inc(
+            gateway.matched_points)
+        registry.counter("repro_gateway_segments_emitted_total",
+                         help="Segments forwarded into the service").inc(
+            gateway.segments_emitted)
+        for reason, count in (("late", gateway.late_dropped),
+                              ("duplicate", gateway.duplicates_dropped),
+                              ("unmatchable", gateway.unmatched_dropped)):
+            registry.counter("repro_gateway_dropped_points_total",
+                             {"reason": reason},
+                             help="Fixes dropped at the gateway").inc(count)
+        for event, count in (("opened", gateway.sessions_opened),
+                             ("closed", gateway.sessions_closed),
+                             ("dropped", gateway.sessions_dropped),
+                             ("broken", gateway.sessions_broken),
+                             ("gap_split", gateway.gap_splits),
+                             ("timeout", gateway.session_timeouts),
+                             ("evicted", gateway.vehicles_evicted)):
+            registry.counter("repro_gateway_sessions_total", {"event": event},
+                             help="Session lifecycle events").inc(count)
+        registry.counter("repro_gateway_commits_total",
+                         help="Online match commits").inc(gateway.commits)
+        registry.counter("repro_gateway_forced_commits_total",
+                         help="Window-forced match commits").inc(
+            gateway.forced_commits)
+        registry.counter("repro_gateway_batched_flushes_total",
+                         help="Batched ingest flushes").inc(
+            gateway.batched_flushes)
+        registry.gauge("repro_gateway_reorder_buffered",
+                       help="Fixes held in reorder buffers").set(
+            gateway.reorder_buffered)
+    return registry

@@ -47,6 +47,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, NamedTuple, Optional
 
+from ..obs.trace import TraceContext, timestamp as obs_timestamp
 from .metrics import BusStats
 
 
@@ -58,6 +59,10 @@ class ResultEnvelope(NamedTuple):
     kind: str       # "result" | "session" | "error"
     key: object     # vehicle id | session key | tuple of vehicle ids
     payload: object
+    #: Sampled trace context of the stream this envelope closes (``None``
+    #: almost always). Stamped at publish, re-stamped at take, observed as
+    #: ``bus_publish`` / ``bus_drain`` at those boundaries.
+    trace: Optional[TraceContext] = None
 
 
 class ShardResultBus:
@@ -81,14 +86,18 @@ class ShardResultBus:
         self._delivered = 0
         self._redelivered = 0
         self._acked_seq = 0
+        #: Optional repro.obs.Tracer; when set, traced envelopes close
+        #: their ``bus_publish`` span at :meth:`take`.
+        self.tracer = None
 
     # --------------------------------------------------------------- publish
-    def publish(self, kind: str, key, payload) -> int:
+    def publish(self, kind: str, key, payload,
+                trace: Optional[TraceContext] = None) -> int:
         """Append one envelope to the outbox; returns its sequence number."""
         seq = self._next_seq
         self._next_seq += 1
         self._outbox.append(ResultEnvelope(self.shard_id, seq, kind, key,
-                                           payload))
+                                           payload, trace))
         self._published += 1
         return seq
 
@@ -97,12 +106,23 @@ class ShardResultBus:
         """Pop a batch off the outbox into the unacked retention window.
 
         The batch is what rides one queue/IPC message toward the facade;
-        nothing is forgotten until :meth:`ack` covers it.
+        nothing is forgotten until :meth:`ack` covers it. Traced envelopes
+        close their ``bus_publish`` span here and leave re-stamped, so the
+        facade's accept path measures ``bus_drain`` from this hop — a
+        replayed envelope is re-stamped again, which is the honest reading
+        (its drain latency restarts with the redelivery).
         """
         count = len(self._outbox)
         if max_items is not None:
             count = min(count, max_items)
         batch = [self._outbox.popleft() for _ in range(count)]
+        if self.tracer is not None and any(e.trace is not None for e in batch):
+            now = obs_timestamp()
+            batch = [
+                envelope if envelope.trace is None else envelope._replace(
+                    trace=self.tracer.observe("bus_publish", envelope.trace,
+                                              now))
+                for envelope in batch]
         self._unacked.extend(batch)
         self._delivered += len(batch)
         return batch

@@ -57,17 +57,22 @@ import time
 from typing import (Dict, Hashable, Iterator, List, Optional, Sequence,
                     Tuple, Union)
 
+from ..config import ObsConfig
 from ..core.detector import DetectionResult
 from ..core.rl4oasd import RL4OASDModel
 from ..exceptions import ServiceError
 from ..history import HistorySnapshot, RouteHistoryStore
 from ..labeling.features import PreprocessingPipeline
+from ..obs.exposition import MetricsServer, render_prometheus
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import (STAGES, STAGE_LATENCY_METRIC, Span, Tracer,
+                         timestamp as obs_timestamp, write_spans_jsonl)
 from ..trajectory.models import MatchedTrajectory
 from .backends import (ControlUpdate, IngestEvent, InProcessBackend,
                        ProcessBackend, ServiceBackend)
 from .checkpoint import (WeightsSnapshot, clone_model, model_to_bytes,
                          weights_snapshot)
-from .metrics import BusStats, ServiceMetrics
+from .metrics import BusStats, ServiceMetrics, metrics_to_registry
 from .resultbus import BusCollector, ResultEnvelope
 from .sharding import shard_of
 
@@ -96,6 +101,7 @@ class DetectionService:
         backend: str = "inprocess",
         queue_depth: int = 256,
         start_method: Optional[str] = None,
+        obs: Optional[ObsConfig] = None,
         **engine_overrides,
     ):
         if num_shards < 1:
@@ -122,13 +128,36 @@ class DetectionService:
         self._history_refreshes = 0
         self._plane_installed = False
         self._closed = False
+        # Observability is strictly opt-in: with no ObsConfig the facade
+        # has no tracer and the ingest hot path pays a single `is None`
+        # check. With one, the facade tracer *originates* sampled trace
+        # contexts (shard tracers only observe) and the shard workers get
+        # the span/reservoir sizing via a plain picklable dict.
+        self._obs = obs.validate() if obs is not None else None
+        if self._obs is not None:
+            self._tracer: Optional[Tracer] = Tracer(
+                MetricsRegistry(),
+                sample_rate=self._obs.trace_sample_rate,
+                seed=self._obs.trace_seed, site="facade",
+                keep_spans=self._obs.keep_spans,
+                max_spans=self._obs.max_spans)
+            obs_options = {"keep_spans": self._obs.keep_spans,
+                           "max_spans": self._obs.max_spans,
+                           "queue_wait_cap": self._obs.queue_wait_cap}
+        else:
+            self._tracer = None
+            obs_options = None
+        self._span_buffer: List[Span] = []
+        self._metrics_servers: List[MetricsServer] = []
         if backend == "inprocess":
             self._backend: ServiceBackend = InProcessBackend(
-                clone_model(model), num_shards, queue_depth, engine_overrides)
+                clone_model(model), num_shards, queue_depth, engine_overrides,
+                obs_options=obs_options)
         elif backend == "process":
             self._backend = ProcessBackend(
                 model_to_bytes(model), num_shards, queue_depth,
-                engine_overrides, start_method=start_method)
+                engine_overrides, start_method=start_method,
+                obs_options=obs_options)
         else:
             raise ServiceError(
                 f"unknown backend {backend!r}; use 'inprocess' or 'process'")
@@ -189,6 +218,7 @@ class DetectionService:
         destination: Optional[int] = None,
         start_time_s: float = 0.0,
         trajectory_id: Optional[int] = None,
+        trace=None,
     ) -> IngestStatus:
         """Queue one point to the vehicle's shard, without blocking.
 
@@ -203,7 +233,7 @@ class DetectionService:
         self._require_open_service()
         event, opening = self._admit(
             IngestEvent(vehicle_id, segment, destination, start_time_s,
-                        trajectory_id), ())
+                        trajectory_id, trace), ())
         shard = self.shard_for(vehicle_id)
         if not self._backend.ingest(shard, event):
             self._rejected += 1
@@ -366,14 +396,22 @@ class DetectionService:
         opens a new stream.
         """
         self._vocabulary.token(request.segment)  # LabelingError, fail-fast
+        trace = request.trace
+        if self._tracer is not None and trace is None:
+            # Originate a sampled trace here (a gateway-stamped event keeps
+            # its own): the shard measures `shard_queue` from this stamp.
+            trace = self._tracer.sample(obs_timestamp())
         if request.vehicle_id in self._open or request.vehicle_id in opening:
             if (request.destination is None and request.start_time_s == 0.0
-                    and request.trajectory_id is None):
+                    and request.trajectory_id is None
+                    and request.trace is trace):
                 return request, False  # already normalized — the hot path
             return IngestEvent(request.vehicle_id, request.segment,
-                               None, 0.0, None), False
+                               None, 0.0, None, trace), False
         if request.destination is not None:
             self._vocabulary.token(request.destination)
+        if trace is not request.trace:
+            request = request._replace(trace=trace)
         return request, True
 
     # ---------------------------------------------------------- work planes
@@ -579,6 +617,11 @@ class DetectionService:
         accepted = self._collector.offer(self._backend.take_results(max_items))
         if not accepted:
             return accepted
+        if self._tracer is not None:
+            now = obs_timestamp()
+            for envelope in accepted:
+                if envelope.trace is not None:
+                    self._tracer.observe("bus_drain", envelope.trace, now)
         acks: Dict[int, int] = {}
         for envelope in accepted:
             if envelope.kind == "result":
@@ -762,11 +805,116 @@ class DetectionService:
             results_pending=len(self._pending_results),
         )
 
+    # -------------------------------------------------------- observability
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The facade's trace sampler (``None`` when built without obs).
+
+        Shared with a :class:`~repro.ingest.GpsGateway` fronting this
+        service, so one sampling decision covers a fix's whole journey.
+        """
+        return self._tracer
+
+    def obs_registry(self) -> MetricsRegistry:
+        """Stage-latency metrics merged across the facade and every shard.
+
+        A *fresh* registry per call (merging two snapshots of the same
+        live registry would double-count), holding the
+        ``repro_stage_latency_seconds`` histograms and whatever else the
+        tracers recorded. Spans drained from the shards along the way are
+        retained for the next :meth:`drain_spans`.
+        """
+        self._require_open_service()
+        merged = MetricsRegistry()
+        if self._tracer is not None:
+            merged.merge(self._tracer.registry)
+        for registry, spans in self._backend.obs_snapshot():
+            merged.merge(registry)
+            if spans:
+                self._span_buffer.extend(spans)
+        limit = self._obs.max_spans if self._obs is not None else 10_000
+        if len(self._span_buffer) > limit:
+            del self._span_buffer[:len(self._span_buffer) - limit]
+        return merged
+
+    def stage_latency(self, stage: str):
+        """One pipeline stage's latency as an :class:`~repro.eval.timing.
+        LatencyReport` (histogram-backed: p50/p95/p99 are conservative
+        bucket bounds, mean and max exact)."""
+        from ..eval.timing import LatencyReport
+
+        if stage not in STAGES:
+            raise ServiceError(
+                f"unknown stage {stage!r}; stages are {', '.join(STAGES)}")
+        histogram = self.obs_registry().histogram(STAGE_LATENCY_METRIC,
+                                                 {"stage": stage})
+        return LatencyReport.from_histogram(f"{stage} latency", histogram,
+                                            unit="s")
+
+    def queue_wait_latency(self):
+        """Enqueue→dequeue wait of the shard queues, from the per-shard
+        seeded reservoirs (the queue-side mirror of the matcher's
+        commit-lag sampler)."""
+        from ..eval.timing import LatencyReport
+
+        samples: List[float] = []
+        for shard in self._backend.stats():
+            samples.extend(shard.queue_wait_samples)
+        return LatencyReport("shard queue wait", samples, unit="s")
+
+    def drain_spans(self) -> List[Span]:
+        """Every recorded trace span (facade + shards), drained.
+
+        Each span is returned exactly once across repeated calls; pair
+        with :func:`repro.obs.write_spans_jsonl` or :meth:`export_spans`.
+        """
+        self._require_open_service()
+        spans = self._span_buffer
+        self._span_buffer = []
+        if self._tracer is not None:
+            spans.extend(self._tracer.take_spans())
+        for _, shard_spans in self._backend.obs_snapshot():
+            spans.extend(shard_spans)
+        return spans
+
+    def export_spans(self, path) -> int:
+        """Drain all spans to a JSONL file; returns the spans written."""
+        return write_spans_jsonl(self.drain_spans(), path)
+
+    def metrics_text(self) -> str:
+        """The whole dashboard in Prometheus text exposition format.
+
+        Stage-latency histograms from :meth:`obs_registry` plus a
+        registry view of :meth:`metrics` (same counters the ``format()``
+        report prints, so the two can never disagree). Works with or
+        without an :class:`~repro.config.ObsConfig` — without one the
+        histograms are simply absent.
+        """
+        registry = self.obs_registry()
+        metrics_to_registry(self.metrics(), registry)
+        return render_prometheus(registry)
+
+    def start_metrics_server(self, host: str = "127.0.0.1",
+                             port: int = 0) -> MetricsServer:
+        """Serve :meth:`metrics_text` on an HTTP ``/metrics`` endpoint.
+
+        Port 0 picks a free port (read it back from ``.port``). The
+        server is closed with the service; close it earlier via its own
+        ``close()`` / context manager if you prefer.
+        """
+        self._require_open_service()
+        server = MetricsServer(self.metrics_text, host=host, port=port)
+        self._metrics_servers.append(server)
+        return server
+
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
         """Shut the backend down; idempotent. In-flight streams are lost."""
         if not self._closed:
             self._closed = True
+            for server in self._metrics_servers:
+                server.close()
+            self._metrics_servers = []
             self._backend.close()
 
     def __enter__(self) -> "DetectionService":

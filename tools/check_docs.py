@@ -64,7 +64,13 @@ PUBLIC_SURFACE = {
     ],
     "repro.experiments.common": ["prepare_city", "train_rl4oasd"],
     "repro.datagen": ["tiny_dataset"],
-    "repro.config": ["TrainingConfig"],
+    "repro.config": ["TrainingConfig", "ObsConfig"],
+    "repro.obs": [
+        "Counter", "Gauge", "Histogram", "MetricsRegistry", "Reservoir",
+        "default_latency_buckets", "STAGES", "STAGE_LATENCY_METRIC",
+        "Span", "TraceContext", "Tracer", "write_spans_jsonl",
+        "MetricsServer", "parse_prometheus", "render_prometheus",
+    ],
 }
 
 
