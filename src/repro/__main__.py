@@ -1,0 +1,7 @@
+"""``python -m repro`` — the CLI entry point."""
+
+import sys
+
+from .cli.main import main
+
+sys.exit(main())

@@ -1,0 +1,9 @@
+"""The ``repro`` command line package (``python -m repro``).
+
+See :mod:`repro.cli.main` for the subcommand registry and
+``docs/operations.md`` for the operator-facing reference.
+"""
+
+from .main import build_parser, main
+
+__all__ = ["build_parser", "main"]

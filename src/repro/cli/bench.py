@@ -1,0 +1,162 @@
+"""``repro bench`` — run benchmarks and grow their perf-trajectory files.
+
+Each known benchmark already emits a machine-readable result via its
+``--json`` flag; this subcommand runs them as subprocesses and appends
+each payload — stamped with a UTC timestamp, the current commit and the
+host's core count — to ``BENCH_<name>.json`` at the repo root. Those
+trajectory files are the longitudinal record future perf PRs diff
+against; one entry per run, newest last.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+__all__ = ["KNOWN_BENCHES", "append_trajectory", "register", "run"]
+
+#: Benchmarks with a ``--json`` flag, by trajectory name.
+KNOWN_BENCHES = {
+    "stream_throughput": "bench_stream_throughput.py",
+    "service_throughput": "bench_service_throughput.py",
+    "gateway_throughput": "bench_gateway_throughput.py",
+    "train_throughput": "bench_train_throughput.py",
+    "history_refresh": "bench_history_refresh.py",
+    "obs_overhead": "bench_obs_overhead.py",
+}
+
+
+def _repo_root() -> Path:
+    """The repo root: the directory holding ``benchmarks/`` (else cwd)."""
+    here = Path(__file__).resolve()
+    for candidate in here.parents:
+        if (candidate / "benchmarks").is_dir():
+            return candidate
+    return Path.cwd()
+
+
+def _current_commit(root: Path) -> str:
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
+            capture_output=True, text=True, timeout=10, check=False)
+        return output.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def append_trajectory(path: Path, entry: dict) -> int:
+    """Append one run's entry to a ``BENCH_<name>.json`` file.
+
+    The file is a JSON list, newest entry last; a missing or corrupt file
+    starts a fresh trajectory. Returns the entry count after the append.
+    """
+    entries = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, list):
+                entries = loaded
+        except (json.JSONDecodeError, OSError):
+            entries = []
+    entries.append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return len(entries)
+
+
+def run(args) -> int:
+    root = Path(args.benchmarks_dir).parent if args.benchmarks_dir \
+        else _repo_root()
+    bench_dir = Path(args.benchmarks_dir) if args.benchmarks_dir \
+        else root / "benchmarks"
+    out_dir = Path(args.out_dir) if args.out_dir else root
+    names = args.names or sorted(KNOWN_BENCHES)
+    unknown = [name for name in names if name not in KNOWN_BENCHES]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}; known: "
+              f"{', '.join(sorted(KNOWN_BENCHES))}", file=sys.stderr)
+        return 2
+    commit = _current_commit(root)
+    src_dir = root / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_dir)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                          else []))
+    failures = 0
+    for name in names:
+        script = bench_dir / KNOWN_BENCHES[name]
+        if not script.exists():
+            print(f"[bench] {name}: script {script} missing, skipped",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        with tempfile.NamedTemporaryFile(suffix=".json",
+                                         delete=False) as handle:
+            json_path = Path(handle.name)
+        command = [sys.executable, str(script)]
+        if args.smoke:
+            command.append("--smoke")
+        command += ["--json", str(json_path)]
+        print(f"[bench] running {name}"
+              + (" (smoke)" if args.smoke else "") + "...", flush=True)
+        try:
+            completed = subprocess.run(command, cwd=bench_dir, env=env,
+                                       capture_output=True, text=True,
+                                       timeout=args.timeout)
+            if completed.returncode != 0:
+                print(f"[bench] {name} FAILED (exit "
+                      f"{completed.returncode}):\n"
+                      f"{completed.stdout[-2000:]}\n"
+                      f"{completed.stderr[-2000:]}", file=sys.stderr)
+                failures += 1
+                continue
+            try:
+                payload = json.loads(json_path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError) as error:
+                print(f"[bench] {name}: no JSON payload ({error})",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            entry = {
+                "recorded_at": datetime.datetime.now(
+                    datetime.timezone.utc).isoformat(timespec="seconds"),
+                "commit": commit,
+                "smoke": bool(args.smoke),
+                "host": {"cores": os.cpu_count() or 1},
+                "payload": payload,
+            }
+            trajectory = out_dir / f"BENCH_{name}.json"
+            count = append_trajectory(trajectory, entry)
+            print(f"[bench] {name}: entry {count} appended to {trajectory}")
+        finally:
+            json_path.unlink(missing_ok=True)
+    return 1 if failures else 0
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="run benchmarks and append to BENCH_<name>.json trajectories",
+        description="Run the known benchmarks with --json and append each "
+                    "payload (timestamped, commit-stamped) to its "
+                    "BENCH_<name>.json perf-trajectory file.")
+    parser.add_argument("names", nargs="*",
+                        help="benchmarks to run (default: all known); "
+                             f"known: {', '.join(sorted(KNOWN_BENCHES))}")
+    parser.add_argument("--smoke", action="store_true",
+                        help="pass --smoke to every benchmark")
+    parser.add_argument("--out-dir", default=None,
+                        help="where BENCH_<name>.json files live "
+                             "(default: the repo root)")
+    parser.add_argument("--benchmarks-dir", default=None,
+                        help="directory holding the bench_*.py scripts")
+    parser.add_argument("--timeout", type=float, default=3600.0,
+                        help="per-benchmark subprocess timeout (seconds)")
+    parser.set_defaults(func=run)

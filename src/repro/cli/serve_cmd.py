@@ -1,0 +1,57 @@
+"""``repro serve`` — run the online stack as a long-lived process.
+
+The same harness as ``repro soak`` in endless mode: a synthetic fleet
+keeps the gateway → service → learner loop busy so the ``/metrics``,
+``/healthz`` and ``/ready`` endpoints serve live numbers an external
+Prometheus (or a human with ``curl``) can watch. Stops on ``--duration``,
+a ``--fixes`` budget, or Ctrl-C — and still prints the dashboard and SLO
+verdict for whatever it served.
+"""
+
+from __future__ import annotations
+
+from .soak import SoakHarness, SoakOptions, add_soak_arguments
+
+__all__ = ["register", "run"]
+
+
+def run(args) -> int:
+    options = SoakOptions(
+        fixes=args.fixes,
+        duration_s=args.duration,
+        city=args.city,
+        smoke=args.smoke,
+        shards=args.shards,
+        backend=args.backend,
+        queue_depth=args.queue_depth,
+        concurrency=args.concurrency,
+        ingest_batch=args.ingest_batch,
+        drift_parts=args.drift_parts,
+        fine_tune_trips=args.fine_tune_trips,
+        trace_sample_rate=args.trace_sample_rate,
+        scrape_interval_s=args.scrape_interval,
+        windows=args.windows,
+        flatness=args.flatness,
+        port=args.port,
+        record=args.record,
+        rules_file=args.rules,
+        quiet=args.quiet,
+    )
+    harness = SoakHarness(options)
+    try:
+        report = harness.run()
+    except KeyboardInterrupt:
+        print("\n[serve] interrupted; shutting down")
+        return 130
+    return 0 if report.passed else 1
+
+
+def register(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the online stack with live /metrics, /healthz, /ready",
+        description="Serve a synthetic fleet through the full online "
+                    "stack indefinitely (or for --duration / --fixes), "
+                    "exposing live metrics and health endpoints.")
+    add_soak_arguments(parser, fixes_default=None)
+    parser.set_defaults(func=run)

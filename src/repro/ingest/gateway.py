@@ -62,7 +62,8 @@ from ..eval.timing import LatencyReport
 from ..exceptions import (GatewayError, MatchBreakError, UnmatchablePointError)
 from ..mapmatching.hmm import HMMMapMatcher
 from ..mapmatching.online import OnlineMapMatcher, OnlineMatchResult
-from ..obs.exposition import MetricsServer, render_prometheus
+from ..obs.exposition import (MetricsServer, add_process_metrics,
+                              render_prometheus)
 from ..obs.trace import TraceContext, timestamp as obs_timestamp
 from ..serve.backends import IngestEvent
 from ..serve.metrics import GatewayStats, ServiceMetrics, metrics_to_registry
@@ -537,6 +538,7 @@ class GpsGateway:
         """
         registry = self._service.obs_registry()
         metrics_to_registry(self.metrics(), registry)
+        add_process_metrics(registry)
         return render_prometheus(registry)
 
     def start_metrics_server(self, host: str = "127.0.0.1",

@@ -13,19 +13,38 @@ home with their existing stats replies.
   that originates and observes them (zero-cost at sample rate 0), and the
   JSONL span export.
 * :mod:`~repro.obs.exposition` — :func:`render_prometheus` /
-  :func:`parse_prometheus` and the stdlib :class:`MetricsServer` scrape
-  endpoint.
+  :func:`parse_prometheus`, the stdlib :class:`MetricsServer` scrape
+  endpoint with its ``/healthz`` and ``/ready`` probes, the
+  :class:`RenderCache` snapshot holder, and the process-level gauges
+  (:func:`add_process_metrics`).
+* :mod:`~repro.obs.timeseries` — the consuming side of the scrape
+  surface: :class:`ScrapeRecorder` polls an endpoint over HTTP, appends
+  :class:`ScrapePoint` rows to JSONL, and the :class:`SeriesStore` they
+  land in computes counter rates and per-window histogram-delta
+  quantiles.
+* :mod:`~repro.obs.health` — declarative SLO rules (:func:`parse_rules`)
+  evaluated over a recorded series into a :class:`HealthReport`
+  pass/fail verdict; :func:`default_soak_rules` is the soak harness's
+  rule set.
 
 Entry points on the serving objects: ``DetectionService.metrics_text()`` /
 ``GpsGateway.metrics_text()`` render the whole merged picture;
 ``DetectionService.start_metrics_server()`` exposes it on ``/metrics``.
+The ``repro soak`` CLI closes the loop: it scrapes its own endpoint with
+a :class:`ScrapeRecorder` and judges the run with :mod:`~repro.obs.health`.
 """
 
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry, Reservoir,
                        default_latency_buckets)
 from .trace import (STAGE_LATENCY_METRIC, STAGES, Span, TraceContext, Tracer,
                     timestamp, write_spans_jsonl)
-from .exposition import MetricsServer, parse_prometheus, render_prometheus
+from .exposition import (MetricsServer, RenderCache, add_process_metrics,
+                         parse_prometheus, process_rss_bytes,
+                         render_prometheus)
+from .timeseries import (ScrapePoint, ScrapeRecorder, SeriesStore, WindowRate,
+                         fetch_metrics, load_series, scrape)
+from .health import (HealthReport, RuleResult, SloRule, default_soak_rules,
+                     evaluate_rules, parse_rule, parse_rules)
 
 __all__ = [
     "Counter",
@@ -42,6 +61,23 @@ __all__ = [
     "timestamp",
     "write_spans_jsonl",
     "MetricsServer",
+    "RenderCache",
+    "add_process_metrics",
     "parse_prometheus",
+    "process_rss_bytes",
     "render_prometheus",
+    "ScrapePoint",
+    "ScrapeRecorder",
+    "SeriesStore",
+    "WindowRate",
+    "fetch_metrics",
+    "load_series",
+    "scrape",
+    "HealthReport",
+    "RuleResult",
+    "SloRule",
+    "default_soak_rules",
+    "evaluate_rules",
+    "parse_rule",
+    "parse_rules",
 ]

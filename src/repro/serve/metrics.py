@@ -284,6 +284,9 @@ class ServiceMetrics:
     results_delivered: int = 0
     results_duplicates: int = 0
     results_pending: int = 0
+    #: Sequence-number gaps observed by the facade's :class:`BusCollector`
+    #: — the at-least-once certificate. Zero means no result was ever lost.
+    results_gaps: int = 0
 
     @property
     def num_shards(self) -> int:
@@ -413,6 +416,9 @@ def metrics_to_registry(metrics: ServiceMetrics, registry=None):
         "repro_service_results_duplicates_total":
             (metrics.results_duplicates,
              "Redelivered envelopes dropped by the watermark"),
+        "repro_bus_gaps_total":
+            (metrics.results_gaps,
+             "Sequence gaps seen by the facade collector (0 = no loss)"),
     }
     for name, (value, help_text) in service_counters.items():
         registry.counter(name, help=help_text).inc(value)

@@ -63,7 +63,8 @@ from ..core.rl4oasd import RL4OASDModel
 from ..exceptions import ServiceError
 from ..history import HistorySnapshot, RouteHistoryStore
 from ..labeling.features import PreprocessingPipeline
-from ..obs.exposition import MetricsServer, render_prometheus
+from ..obs.exposition import (MetricsServer, add_process_metrics,
+                              render_prometheus)
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import (STAGES, STAGE_LATENCY_METRIC, Span, Tracer,
                          timestamp as obs_timestamp, write_spans_jsonl)
@@ -803,6 +804,7 @@ class DetectionService:
             results_delivered=self._collector.accepted,
             results_duplicates=self._collector.duplicates,
             results_pending=len(self._pending_results),
+            results_gaps=self._collector.gaps,
         )
 
     # -------------------------------------------------------- observability
@@ -892,6 +894,7 @@ class DetectionService:
         """
         registry = self.obs_registry()
         metrics_to_registry(self.metrics(), registry)
+        add_process_metrics(registry)
         return render_prometheus(registry)
 
     def start_metrics_server(self, host: str = "127.0.0.1",

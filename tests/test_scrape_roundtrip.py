@@ -1,0 +1,216 @@
+"""Live HTTP scrape round trips and the /healthz and /ready probes.
+
+The soak harness's whole verdict rides on ``render_prometheus`` →
+``MetricsServer`` → HTTP fetch → ``parse_prometheus`` being lossless, so
+that loop is pinned here — including with awkward label values and under
+concurrent merges from shard registries while clients scrape.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import __version__
+from repro.obs import (HealthReport, MetricsRegistry, MetricsServer,
+                       RuleResult, add_process_metrics, parse_prometheus,
+                       process_rss_bytes, render_prometheus)
+from repro.obs.timeseries import fetch_metrics
+
+
+def _fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _rich_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", {"code": "200"},
+                     help="requests").inc(41)
+    registry.counter("repro_requests_total", {"code": "500"}).inc(1)
+    registry.gauge("repro_depth", {"shard": "0"}).set(3.5)
+    registry.gauge("repro_info",
+                   {"version": "1.0", "note": 'quoted "x" and \\slash\\'}
+                   ).set(1)
+    histogram = registry.histogram("repro_latency_seconds",
+                                   {"stage": "tick"},
+                                   buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestRoundTrip:
+    def test_http_fetch_equals_local_render(self):
+        registry = _rich_registry()
+        text = render_prometheus(registry)
+        with MetricsServer(lambda: render_prometheus(registry)) as server:
+            fetched = fetch_metrics(server.url)
+        assert parse_prometheus(fetched) == parse_prometheus(text)
+        # Including the escaped label value, exactly.
+        samples = parse_prometheus(fetched)
+        key = ("repro_info", (("note", 'quoted "x" and \\slash\\'),
+                              ("version", "1.0")))
+        assert samples[key] == 1
+
+    def test_histogram_series_survive_the_wire(self):
+        registry = _rich_registry()
+        with MetricsServer(lambda: render_prometheus(registry)) as server:
+            samples = parse_prometheus(fetch_metrics(server.url))
+        buckets = {labels: value for (name, labels), value in samples.items()
+                   if name == "repro_latency_seconds_bucket"}
+        assert buckets[(("le", "0.1"), ("stage", "tick"))] == 1
+        assert buckets[(("le", "1"), ("stage", "tick"))] == 2
+        assert buckets[(("le", "+Inf"), ("stage", "tick"))] == 3
+        assert samples[("repro_latency_seconds_count",
+                        (("stage", "tick"),))] == 3
+
+    def test_concurrent_shard_merges_and_scrapes(self):
+        """Fleet registries merging while clients scrape: every response
+        parses, and the label-summed counter only moves forward."""
+        fleet = MetricsRegistry()
+        # Pre-create the series so merges only add (snapshot render can
+        # interleave with merges; sample sets stay stable).
+        for shard in range(4):
+            fleet.counter("repro_points_total", {"shard": str(shard)})
+
+        def render():
+            return render_prometheus(fleet)
+
+        errors = []
+        totals = []
+        stop = threading.Event()
+
+        def merger(shard):
+            while not stop.is_set():
+                delta = MetricsRegistry()
+                delta.counter("repro_points_total",
+                              {"shard": str(shard)}).inc(7)
+                fleet.merge(delta)
+
+        with MetricsServer(render) as server:
+            def scraper():
+                try:
+                    for _ in range(25):
+                        samples = parse_prometheus(fetch_metrics(server.url))
+                        totals.append(sum(
+                            value for (name, _), value in samples.items()
+                            if name == "repro_points_total"))
+                except Exception as error:  # noqa: BLE001 - reported below
+                    errors.append(error)
+
+            mergers = [threading.Thread(target=merger, args=(shard,))
+                       for shard in range(4)]
+            scrapers = [threading.Thread(target=scraper) for _ in range(3)]
+            for thread in mergers + scrapers:
+                thread.start()
+            for thread in scrapers:
+                thread.join()
+            stop.set()
+            for thread in mergers:
+                thread.join()
+        assert not errors
+        assert totals and all(total >= 0 for total in totals)
+        assert sorted(totals) != [] and max(totals) > 0
+
+    def test_render_cache_serves_owner_snapshots(self):
+        from repro.obs import RenderCache
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        cache = RenderCache(lambda: render_prometheus(registry))
+        # Never renders on a reader's thread: empty until the owner
+        # refreshes (a reader-side render would race the owner for the
+        # shard command queues).
+        assert cache() == ""
+        cache.refresh()
+        first = cache()
+        counter.inc(5)
+        assert cache() == first  # still the cached snapshot
+        cache.refresh()
+        assert parse_prometheus(cache())[("c_total", ())] == 5
+
+
+class TestProbes:
+    def test_healthz_without_callable_is_liveness(self):
+        registry = MetricsRegistry()
+        with MetricsServer(lambda: render_prometheus(registry)) as server:
+            status, body = _fetch(server.url.replace("/metrics", "/healthz"))
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "pass"
+        assert payload["version"] == __version__
+
+    def test_healthz_reports_the_verdict(self):
+        verdict = {"passed": True}
+
+        def health():
+            return HealthReport([RuleResult("zero gaps", verdict["passed"],
+                                            "seen")])
+
+        registry = MetricsRegistry()
+        with MetricsServer(lambda: render_prometheus(registry),
+                           health=health) as server:
+            probe = server.url.replace("/metrics", "/healthz")
+            status, body = _fetch(probe)
+            assert status == 200
+            assert json.loads(body)["checks"][0]["rule"] == "zero gaps"
+            verdict["passed"] = False
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                _fetch(probe)
+            assert failure.value.code == 503
+            payload = json.loads(failure.value.read().decode("utf-8"))
+            assert payload["status"] == "fail"
+            assert payload["version"] == __version__
+
+    def test_ready_follows_render_health(self):
+        state = {"ok": True}
+
+        def render():
+            if not state["ok"]:
+                raise RuntimeError("backend gone")
+            return "up 1\n"
+
+        with MetricsServer(render) as server:
+            probe = server.url.replace("/metrics", "/ready")
+            status, body = _fetch(probe)
+            assert status == 200 and json.loads(body)["ready"] is True
+            state["ok"] = False
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                _fetch(probe)
+            assert failure.value.code == 503
+
+    def test_ready_callable_wins(self):
+        with MetricsServer(lambda: "up 1\n",
+                           ready=lambda: False) as server:
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                _fetch(server.url.replace("/metrics", "/ready"))
+            assert failure.value.code == 503
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(lambda: "up 1\n") as server:
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                _fetch(server.url.replace("/metrics", "/nope"))
+            assert failure.value.code == 404
+
+
+class TestProcessMetrics:
+    def test_rss_is_positive_here(self):
+        assert process_rss_bytes() > 0
+
+    def test_add_process_metrics_stamps_rss_and_version(self):
+        registry = add_process_metrics(MetricsRegistry())
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples[("repro_process_rss_bytes", ())] > 0
+        assert samples[("repro_info", (("version", __version__),))] == 1
+
+    def test_service_scrape_carries_process_metrics_and_gaps(
+            self, trained_model):
+        """The serving surfaces expose the soak SLOs' inputs."""
+        with trained_model.detection_service(num_shards=1,
+                                             backend="inprocess") as service:
+            samples = parse_prometheus(service.metrics_text())
+        assert samples[("repro_bus_gaps_total", ())] == 0
+        assert samples[("repro_process_rss_bytes", ())] > 0
+        assert ("repro_info", (("version", __version__),)) in samples

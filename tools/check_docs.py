@@ -70,7 +70,22 @@ PUBLIC_SURFACE = {
         "default_latency_buckets", "STAGES", "STAGE_LATENCY_METRIC",
         "Span", "TraceContext", "Tracer", "write_spans_jsonl",
         "MetricsServer", "parse_prometheus", "render_prometheus",
+        "RenderCache", "add_process_metrics", "process_rss_bytes",
+        "ScrapeRecorder", "SeriesStore", "fetch_metrics", "load_series",
+        "HealthReport", "SloRule", "default_soak_rules", "evaluate_rules",
+        "parse_rules",
     ],
+    "repro.obs.timeseries": [
+        "ScrapePoint", "ScrapeRecorder", "SeriesStore", "WindowRate",
+        "fetch_metrics", "load_series", "scrape",
+    ],
+    "repro.obs.health": [
+        "HealthReport", "RuleResult", "SloRule", "default_soak_rules",
+        "evaluate_rules", "parse_rule", "parse_rules",
+    ],
+    "repro.cli": ["build_parser", "main"],
+    "repro.cli.soak": ["SoakHarness", "SoakOptions"],
+    "repro.cli.bench": ["KNOWN_BENCHES", "append_trajectory"],
 }
 
 
