@@ -1,23 +1,24 @@
-"""History hot-refresh: ``swap_history`` vs rebuilding the whole service.
+"""History refresh economics: delta swap vs full-snapshot swap vs rebuild.
 
-The tentpole's economics, measured. A serving fleet whose normal-route
-history goes stale used to require tearing the service down and rebuilding
-it from a model carrying the new history (re-pickling and re-spawning every
-shard, losing every in-flight stream). ``DetectionService.swap_history``
-replaces that with one atomic broadcast of a versioned snapshot. This
-benchmark:
+The delta control plane's ledger. A serving fleet whose normal-route
+history drifts has three ways to catch up, measured here side by side on
+the *same* incremental drift:
 
-* builds a drifted history (new trajectories appended through the
-  copy-on-write :class:`~repro.history.RouteHistoryStore`),
-* measures the **refresh latency** of ``swap_history`` against the **rebuild
-  latency** of constructing a fresh service from the refreshed model —
-  in-process and multi-process backends alike,
-* measures the **copy-on-write win**: `store.extend` of a small delta vs
-  re-indexing the full history from scratch,
-* and pins the differential contract the whole feature rests on: after the
-  swap, the service's labels on a post-refresh workload are identical to the
-  freshly-built service's (0 mismatches), while streams that were in flight
-  across the refresh match the pre-refresh build.
+* **delta swap** — ``swap_history`` fed the producer's store/pipeline, so
+  the facade broadcasts a version-keyed :class:`~repro.history.
+  HistoryDelta` of only the touched SD-pair groups (pickled once for the
+  whole fleet on the process backend);
+* **full swap** — the same refresh as a bare snapshot (no store, no origin
+  delta), forcing the pre-delta behaviour: the whole corpus on the wire;
+* **rebuild** — the alternative both retire: tear the service down and
+  rebuild it from a model carrying the new history (re-pickling and
+  re-spawning every shard, losing every in-flight stream).
+
+Also measured: the copy-on-write ``store.extend`` vs re-indexing the full
+history from scratch. And pinned throughout: after either swap form, the
+service's labels on a post-refresh workload are identical to a freshly
+built service's (0 mismatches), while streams in flight across the refresh
+match the pre-refresh build.
 
 Run standalone::
 
@@ -38,19 +39,20 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import pytest
 
-from repro.history import RouteHistoryStore
+from repro.history import RouteHistoryStore, clone_snapshot
 from repro.experiments.common import prepare_city, train_rl4oasd
-from repro.serve import serve_fleet
 
 from conftest import bench_settings, maybe_record_json, record_result
 
-CONCURRENCY = 64
 WORKLOAD_TRIPS = 96
 SHARD_COUNTS = (1, 2, 4)
 #: The refresh must beat a full rebuild by at least this factor (the whole
 #: point of the feature); tunable for noisy shared runners.
 MIN_REFRESH_SPEEDUP = float(
     os.environ.get("REPRO_BENCH_MIN_REFRESH_SPEEDUP", "1.0"))
+#: The delta form must beat the full-snapshot form at every shard count.
+MIN_DELTA_VS_FULL = float(
+    os.environ.get("REPRO_BENCH_MIN_DELTA_VS_FULL", "1.0"))
 
 
 def _drive(service, fleet, prefix, declare):
@@ -69,13 +71,20 @@ def _drive(service, fleet, prefix, declare):
     return ids
 
 
-def _measure_refresh(model, refreshed, in_flight, after, *, num_shards,
-                     backend):
-    """One refresh cycle: returns (swap_s, rebuild_s, mismatches)."""
-    fresh_model = model.with_history(refreshed)
+def _measure_refresh(model, refreshed1, store, in_flight, after, *,
+                     num_shards, backend):
+    """Two refresh steps on one service: full-snapshot, then delta.
+
+    The service starts on the model's base history, takes the first drift
+    step as a bare snapshot (forced full broadcast), then the second —
+    same-sized — drift step through the producer's store (delta broadcast).
+    Returns ``(delta_s, full_s, rebuild_s, mismatches)``.
+    """
+    final = store.current()
+    fresh_model = model.with_history(final)
 
     # References: the pre-refresh build for the in-flight streams, a fresh
-    # build from the refreshed snapshot for the post-refresh streams.
+    # build from the final snapshot for the post-refresh streams.
     with model.detection_service(num_shards=num_shards,
                                  backend="inprocess") as reference:
         ids = _drive(reference, in_flight, "a", declare=False)
@@ -88,9 +97,19 @@ def _measure_refresh(model, refreshed, in_flight, after, *, num_shards,
     with model.detection_service(num_shards=num_shards,
                                  backend=backend) as service:
         in_flight_ids = _drive(service, in_flight, "a", declare=False)
+        # Step 1 — the pre-delta wire form: a bare cloned snapshot carries
+        # neither store nor origin delta, so the whole corpus ships.
         started = time.perf_counter()
-        service.swap_history(refreshed)
-        swap_s = time.perf_counter() - started
+        service.swap_history(clone_snapshot(refreshed1))
+        full_s = time.perf_counter() - started
+        # Step 2 — the delta form: the store holds the contiguous chain
+        # from the version every shard just acknowledged.
+        started = time.perf_counter()
+        service.swap_history(store)
+        delta_s = time.perf_counter() - started
+        metrics = service.metrics()
+        assert metrics.full_swaps == 1, "step 1 must take the full path"
+        assert metrics.delta_swaps == 1, "step 2 must take the delta path"
         after_ids = _drive(service, after, "b", declare=True)
         results_after = service.finalize_many(after_ids)
         results_in_flight = service.finalize_many(in_flight_ids)
@@ -102,7 +121,7 @@ def _measure_refresh(model, refreshed, in_flight, after, *, num_shards,
         1 for expected, got in zip(expected_after, results_after)
         if expected.labels != got.labels)
 
-    # The alternative this feature retires: rebuild the service wholesale
+    # The alternative both swap forms retire: rebuild the service wholesale
     # from the refreshed model (spawn + snapshot shipping), then prove it
     # can serve one stream.
     started = time.perf_counter()
@@ -111,7 +130,7 @@ def _measure_refresh(model, refreshed, in_flight, after, *, num_shards,
         _drive(rebuilt, after[:1], "probe", declare=True)
         rebuilt.finalize(("probe", 0))
     rebuild_s = time.perf_counter() - started
-    return swap_s, rebuild_s, mismatches
+    return delta_s, full_s, rebuild_s, mismatches
 
 
 def run_bench(smoke: bool = False):
@@ -129,45 +148,56 @@ def run_bench(smoke: bool = False):
     workload = [split.test[i % len(split.test)] for i in range(trips)]
     in_flight, after = workload[: trips // 2], workload[trips // 2:]
 
-    # The drifted history: the dev split arrives as "today's" trajectories.
-    delta = list(split.development)
-    refreshed = model.pipeline.history.extended(
-        delta, version=model.pipeline.history.version + 1)
+    # Two equal-sized drift steps: the dev split arrives as "today's"
+    # trajectories in two waves, so the full-form and delta-form swaps
+    # carry the same incremental update in different wire forms.
+    drift = list(split.development)
+    drift1, drift2 = drift[: len(drift) // 2], drift[len(drift) // 2:]
+    base = model.pipeline.history
+    refreshed1 = base.extended(drift1, version=base.version + 1)
+    store = RouteHistoryStore.from_snapshot(refreshed1)
+    final = store.extend(drift2)
 
     # Copy-on-write extend vs re-indexing everything from scratch.
-    store = RouteHistoryStore.from_snapshot(model.pipeline.history)
+    cow_store = RouteHistoryStore.from_snapshot(base)
     started = time.perf_counter()
-    store.extend(delta)
+    cow_store.extend(drift1)
     extend_s = time.perf_counter() - started
     started = time.perf_counter()
-    RouteHistoryStore(list(model.pipeline.history.trajectories()) + delta,
-                      model.pipeline.history.slots_per_day)
+    RouteHistoryStore(list(base.trajectories()) + drift1, base.slots_per_day)
     reindex_s = time.perf_counter() - started
 
     rows = []
     mismatches = 0
     speedups = {}
+    delta_vs_full = {}
     for backend in backends:
         for num_shards in shard_counts:
-            swap_s, rebuild_s, missed = _measure_refresh(
-                model, refreshed, in_flight, after,
+            delta_s, full_s, rebuild_s, missed = _measure_refresh(
+                model, refreshed1, store, in_flight, after,
                 num_shards=num_shards, backend=backend)
             mismatches += missed
-            speedup = rebuild_s / swap_s if swap_s else float("inf")
+            speedup = rebuild_s / delta_s if delta_s else float("inf")
             speedups[(backend, num_shards)] = speedup
+            delta_vs_full[(backend, num_shards)] = (
+                full_s / delta_s if delta_s else float("inf"))
             rows.append(
-                f"  {backend:9s} x{num_shards}: swap_history "
-                f"{swap_s * 1e3:8.1f} ms   rebuild {rebuild_s * 1e3:8.1f} ms"
-                f"   ({speedup:5.1f}x faster, {missed} mismatches)")
+                f"  {backend:9s} x{num_shards}: delta swap "
+                f"{delta_s * 1e3:7.1f} ms   full swap {full_s * 1e3:7.1f} ms"
+                f"   rebuild {rebuild_s * 1e3:7.1f} ms   "
+                f"(delta {full_s / delta_s if delta_s else float('inf'):5.1f}x"
+                f" vs full, {speedup:5.1f}x vs rebuild, "
+                f"{missed} mismatches)")
 
     cores = os.cpu_count() or 1
     text_lines = [
-        "History hot-refresh vs service rebuild"
+        "History refresh: delta swap vs full-snapshot swap vs rebuild"
         + (" (smoke)" if smoke else ""),
         f"  workload: {len(workload)} trips "
         f"({len(in_flight)} in flight across the refresh), "
-        f"history {len(model.pipeline.history)} -> {len(refreshed)} "
-        f"trajectories (v{refreshed.version}), {cores} core(s)",
+        f"history {len(base)} -> {len(final)} trajectories "
+        f"(v{base.version} -> v{final.version}, two drift steps of "
+        f"{len(drift1)}/{len(drift2)} trips), {cores} core(s)",
         f"  copy-on-write extend: {extend_s * 1e3:.1f} ms   "
         f"full re-index: {reindex_s * 1e3:.1f} ms   "
         f"({reindex_s / extend_s if extend_s else float('inf'):.1f}x)",
@@ -178,6 +208,7 @@ def run_bench(smoke: bool = False):
         "text": "\n".join(text_lines),
         "mismatches": mismatches,
         "speedups": speedups,
+        "delta_vs_full": delta_vs_full,
         "extend_s": extend_s,
         "reindex_s": reindex_s,
         "cores": cores,
@@ -194,6 +225,11 @@ def history_refresh():
 
 def test_refresh_is_label_identical_to_fresh_build(history_refresh):
     assert history_refresh["mismatches"] == 0
+
+
+def test_delta_swap_beats_full_swap_at_every_shard_count(history_refresh):
+    for key, ratio in history_refresh["delta_vs_full"].items():
+        assert ratio >= MIN_DELTA_VS_FULL, (key, history_refresh["text"])
 
 
 def test_refresh_beats_service_rebuild(history_refresh):
@@ -215,11 +251,22 @@ def main() -> None:
             "label mismatch between the refreshed and freshly-built service")
     if smoke:
         return
+    for key, ratio in result["delta_vs_full"].items():
+        if ratio < MIN_DELTA_VS_FULL:
+            raise SystemExit(
+                f"delta swap at {key} only {ratio:.2f}x vs the full form "
+                f"(floor {MIN_DELTA_VS_FULL:.2f}x)")
     best = max(result["speedups"].values())
     if best < MIN_REFRESH_SPEEDUP:
         raise SystemExit(
             f"best refresh speedup {best:.2f}x below the "
             f"{MIN_REFRESH_SPEEDUP:.2f}x floor")
+    process4 = result["speedups"].get(("process", 4))
+    if process4 is not None and process4 < MIN_REFRESH_SPEEDUP:
+        raise SystemExit(
+            f"delta swap at 4 process shards only {process4:.2f}x vs "
+            f"rebuild (floor {MIN_REFRESH_SPEEDUP:.2f}x) — the regression "
+            f"this plane exists to fix")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,9 @@ def run(args) -> int:
         record=args.record,
         rules_file=args.rules,
         quiet=args.quiet,
+        roll_forward_s=args.roll_forward,
+        roll_window_s=args.roll_window,
+        roll_archive=args.roll_archive,
     )
     harness = SoakHarness(options)
     try:

@@ -66,6 +66,12 @@ class SoakOptions:
     record: Optional[str] = None
     rules_file: Optional[str] = None
     quiet: bool = False
+    #: Scheduled history roll-forward: every ``roll_forward_s`` seconds the
+    #: learner's history is rebuilt from the trips observed in the last
+    #: ``roll_window_s`` seconds and swapped into the service (None = off).
+    roll_forward_s: Optional[float] = None
+    roll_window_s: float = 600.0
+    roll_archive: Optional[str] = None
 
 
 class SoakHarness:
@@ -77,6 +83,7 @@ class SoakHarness:
         self.fixes_pushed = 0
         self.sessions_done = 0
         self.fine_tunes = 0
+        self.roller = None
         self.recorder: Optional[ScrapeRecorder] = None
         self.server: Optional[MetricsServer] = None
 
@@ -119,6 +126,25 @@ class SoakHarness:
             obs=ObsConfig(trace_sample_rate=options.trace_sample_rate,
                           keep_spans=False))
         fleet.learner.attach_service(service)
+        self.roller = None
+        if options.roll_forward_s:
+            from ..history import HistoryArchive, RollForwardDriver
+
+            # Sharing the learner's pipeline keeps versions monotone
+            # across both refresh paths: delta publishes between rolls,
+            # one full-snapshot swap per roll.
+            self.roller = RollForwardDriver(
+                fleet.learner.model.pipeline,
+                interval_s=options.roll_forward_s,
+                window_s=options.roll_window_s,
+                archive=(HistoryArchive(options.roll_archive)
+                         if options.roll_archive else None))
+            self.roller.attach_service(service)
+            self._say(f"[soak] history roll-forward every "
+                      f"{options.roll_forward_s:g}s over a "
+                      f"{options.roll_window_s:g}s window"
+                      + (f", archiving to {options.roll_archive}"
+                         if options.roll_archive else ""))
         gateway = GpsGateway(
             service, HMMMapMatcher(fleet.network),
             GatewayConfig(matcher_placement="shard", async_sessions=True,
@@ -162,7 +188,9 @@ class SoakHarness:
         self._say(f"  driver: {self.fixes_pushed:,} fixes pushed, "
                   f"{self.sessions_done:,} sessions completed, "
                   f"{self.fine_tunes} fine-tune round(s), "
-                  f"{self.recorder.errors} scrape error(s)")
+                  f"{self.recorder.errors} scrape error(s)"
+                  + (f", {self.roller.stats.rolls} history roll(s)"
+                     if self.roller is not None else ""))
         self._say("")
         self._say(report.format())
         return report
@@ -237,12 +265,26 @@ class SoakHarness:
                 fleet.learner.observe_part(
                     part, trips[:options.fine_tune_trips])
                 self.fine_tunes += 1
+                if self.roller is not None:
+                    self.roller.observe(trips[:options.fine_tune_trips],
+                                        time.monotonic())
+                swaps = gateway.service.metrics()
                 self._say(f"[soak] part boundary at "
                           f"{self.fixes_pushed:,} fixes -> fine-tuned on "
                           f"part {part % fleet.n_parts} "
                           f"({min(len(trips), options.fine_tune_trips)} "
-                          f"trips), weights+history swapped")
+                          f"trips), weights+history swapped "
+                          f"({swaps.delta_swaps} delta / "
+                          f"{swaps.full_swaps} full so far, "
+                          f"{swaps.swap_payload_bytes:,} history payload "
+                          f"bytes)")
             now = time.monotonic()
+            if self.roller is not None and self.roller.tick(now) is not None:
+                stats = self.roller.stats
+                self._say(f"[soak] history rolled forward to "
+                          f"v{stats.last_version} "
+                          f"({stats.window_trajectories} window trips, "
+                          f"roll #{stats.rolls})")
             if now >= next_refresh:
                 cache.refresh()
                 next_refresh = now + refresh_interval
@@ -273,6 +315,9 @@ def run(args) -> int:
         record=args.record,
         rules_file=args.rules,
         quiet=args.quiet,
+        roll_forward_s=args.roll_forward,
+        roll_window_s=args.roll_window,
+        roll_archive=args.roll_archive,
     )
     if args.smoke:
         if args.fixes == 1_000_000:
@@ -324,6 +369,18 @@ def add_soak_arguments(parser, fixes_default: Optional[int] = 1_000_000,
                              "(judge it later with 'repro report')")
     parser.add_argument("--rules", default=None,
                         help="SLO rules file overriding the defaults")
+    parser.add_argument("--roll-forward", type=float, default=None,
+                        metavar="SECONDS",
+                        help="rebuild the history from a sliding window of "
+                             "recent trips every SECONDS and swap it into "
+                             "the service (default: off)")
+    parser.add_argument("--roll-window", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="sliding-window width the roll-forward rebuilds "
+                             "from (default 600)")
+    parser.add_argument("--roll-archive", default=None, metavar="DIR",
+                        help="archive each rolled history version to this "
+                             "content-addressed directory")
     parser.add_argument("--quiet", action="store_true")
 
 

@@ -142,8 +142,11 @@ class OnlineLearner:
                 self._services.remove(service)
                 continue
             try:
+                # The *pipeline* (not its bare snapshot) is what lets the
+                # facade reach the store's delta log and broadcast only the
+                # touched SD-pair groups when every shard holds the base.
                 service.swap(weights=self._model,
-                             history=self._model.pipeline.history)
+                             history=self._model.pipeline)
             except Exception as error:
                 if first_error is None:
                     first_error = error

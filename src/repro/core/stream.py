@@ -228,6 +228,17 @@ class StreamEngine:
         """Version of the snapshot newly opened streams resolve against."""
         return self._pipeline.history.version
 
+    @property
+    def history_snapshot(self) -> HistorySnapshot:
+        """The snapshot newly opened streams resolve against.
+
+        The base a delta-carrying control update is applied to: a shard
+        worker combines this with a :class:`~repro.history.HistoryDelta`
+        via :func:`~repro.history.apply_delta` and feeds the successor to
+        :meth:`load_history`.
+        """
+        return self._pipeline.history
+
     def pending_points(self, vehicle_id: Hashable) -> int:
         """Points ingested but not yet labeled for one stream."""
         stream = self._stream(vehicle_id)

@@ -101,6 +101,10 @@ class CheckpointError(ReproError):
     """Raised for unreadable, corrupt or incompatible model checkpoints."""
 
 
+class ArchiveError(ReproError):
+    """Raised for invalid use of the durable history archive."""
+
+
 class ServiceError(ReproError):
     """Raised for invalid use of the sharded detection service."""
 

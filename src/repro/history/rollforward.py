@@ -1,0 +1,158 @@
+"""Scheduled roll-forward of the normal-route history.
+
+The delta control plane keeps *incremental* refreshes cheap; this module
+supplies the complementary maintenance motion the paper's drift setting
+implies: periodically **rebuild** the history from a sliding window of
+recent traffic, so stale routes age out instead of accumulating forever.
+:class:`RollForwardDriver` is deliberately clockless — callers feed it
+``now`` (any monotonic seconds source) through :meth:`observe` and
+:meth:`tick`, which makes it deterministic under test and embeddable in
+any loop (``python -m repro soak`` / ``repro serve`` wire it in behind
+``--roll-forward``).
+
+One driver owns one :class:`~repro.history.RouteHistoryStore` (usually via
+the learner's pipeline, so versions stay monotone across both control
+planes). On each due tick it trims the window, mints the next version with
+:meth:`~repro.history.RouteHistoryStore.rebuild` — which intentionally has
+no delta form; the publish after a roll is a full-snapshot swap, then
+deltas resume — pushes it into every attached
+:class:`~repro.serve.service.DetectionService`, and optionally archives it
+to a :class:`~repro.history.HistoryArchive` with roll provenance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import LabelingError
+from ..trajectory.models import MatchedTrajectory
+from .persistence import HistoryArchive
+from .store import HistorySnapshot, RouteHistoryStore
+
+
+@dataclass
+class RollForwardStats:
+    """Bookkeeping of one driver's rolls."""
+
+    rolls: int = 0
+    skipped_empty: int = 0
+    window_trajectories: int = 0
+    last_version: Optional[int] = None
+    archived_versions: List[int] = field(default_factory=list)
+
+
+class RollForwardDriver:
+    """Windowed ``rebuild`` feeding ``swap`` on a tick.
+
+    ``history`` is a :class:`~repro.history.RouteHistoryStore` or a
+    pipeline-like object exposing ``store`` and ``load_history`` (a
+    :class:`~repro.labeling.features.PreprocessingPipeline`; the driver
+    repins it after each roll so a colocated learner keeps training against
+    the rolled history). ``retain_seed=True`` (the default) keeps the
+    store's contents at attach time in every rebuild, so early rolls with a
+    half-empty window do not wipe out the bootstrap history; ``False``
+    gives the pure sliding-window semantics.
+    """
+
+    def __init__(
+        self,
+        history,
+        *,
+        interval_s: float = 300.0,
+        window_s: float = 3600.0,
+        retain_seed: bool = True,
+        archive: Optional[HistoryArchive] = None,
+        targets: Iterable = (),
+    ):
+        if interval_s <= 0:
+            raise LabelingError("roll-forward interval_s must be positive")
+        if window_s <= 0:
+            raise LabelingError("roll-forward window_s must be positive")
+        if isinstance(history, RouteHistoryStore):
+            self._store = history
+            self._pipeline = None
+        elif hasattr(history, "store") and hasattr(history, "load_history"):
+            self._pipeline = history
+            self._store = history.store
+        else:
+            raise LabelingError(
+                "history must be a RouteHistoryStore or a pipeline holding "
+                f"one, got {type(history).__name__}")
+        self._interval_s = float(interval_s)
+        self._window_s = float(window_s)
+        self._seed: Tuple[MatchedTrajectory, ...] = (
+            tuple(self._store.current().trajectories()) if retain_seed else ())
+        self._archive = archive
+        self._targets = list(targets)
+        self._window: Deque[Tuple[float, MatchedTrajectory]] = deque()
+        self._next_roll: Optional[float] = None
+        self.stats = RollForwardStats()
+
+    @property
+    def store(self) -> RouteHistoryStore:
+        return self._store
+
+    @property
+    def window_size(self) -> int:
+        return len(self._window)
+
+    def attach_service(self, service):
+        """Swap each rolled snapshot into ``service``; returns the service."""
+        if service not in self._targets:
+            self._targets.append(service)
+        return service
+
+    def observe(self, trajectories: Sequence[MatchedTrajectory],
+                now: float) -> int:
+        """Stamp newly recorded trajectories into the window at time ``now``."""
+        for trajectory in trajectories:
+            self._window.append((now, trajectory))
+        if self._next_roll is None:
+            self._next_roll = now + self._interval_s
+        return len(self._window)
+
+    def due(self, now: float) -> bool:
+        return self._next_roll is not None and now >= self._next_roll
+
+    def tick(self, now: float) -> Optional[HistorySnapshot]:
+        """Roll if the interval elapsed; returns the new snapshot (or None).
+
+        A due tick with an empty window skips the roll (counted in
+        ``stats.skipped_empty``) — rebuilding the seed alone would burn a
+        version and force a full-snapshot publish for nothing.
+        """
+        if self._next_roll is None:
+            self._next_roll = now + self._interval_s
+            return None
+        if now < self._next_roll:
+            return None
+        self._next_roll = now + self._interval_s
+        horizon = now - self._window_s
+        window = self._window
+        while window and window[0][0] <= horizon:
+            window.popleft()
+        if not window:
+            self.stats.skipped_empty += 1
+            return None
+        snapshot = self._store.rebuild(
+            list(self._seed) + [trajectory for _, trajectory in window])
+        if self._pipeline is not None:
+            self._pipeline.load_history(snapshot)
+        for service in list(self._targets):
+            if getattr(service, "closed", False):
+                self._targets.remove(service)
+                continue
+            service.swap(history=self._store)
+        if self._archive is not None:
+            self._archive.save(snapshot, provenance={
+                "source": "roll-forward",
+                "window_s": self._window_s,
+                "window_trajectories": len(window),
+            })
+            self.stats.archived_versions.append(snapshot.version)
+        self.stats.rolls += 1
+        self.stats.last_version = snapshot.version
+        self.stats.window_trajectories = len(window)
+        return snapshot

@@ -24,6 +24,16 @@ frozen state buried inside a preprocessing pipeline:
   snapshot by reference. :meth:`RouteHistoryStore.rebuild` replaces the
   history wholesale (still minting a fresh version), for daily roll-forward
   jobs that recompute the window from scratch.
+* :class:`HistoryDelta` — the wire form of one copy-on-write refresh:
+  only the groups ``extended`` reallocated, keyed ``base_version →
+  new_version``. :func:`apply_delta` reproduces the successor snapshot
+  bit-identically on a receiver holding ``base_version`` (same group map,
+  same iteration order, same carried caches), so a fleet-wide history
+  refresh can ship kilobytes of touched pairs instead of the whole city.
+  The store keeps a bounded log of recent deltas
+  (:meth:`RouteHistoryStore.delta_chain`) and :func:`merge_deltas`
+  collapses a contiguous chain into one delta for receivers several
+  versions behind.
 
 Readers *pin* a snapshot by simply holding a reference: snapshots are never
 mutated after construction (the memo caches only ever gain entries, and
@@ -35,8 +45,9 @@ version-N labels no matter how many refreshes the store mints afterwards.
 from __future__ import annotations
 
 import pickle
-from typing import (Callable, Dict, FrozenSet, Hashable, Iterable, Iterator,
-                    List, Mapping, Optional, Sequence, Tuple)
+from collections import deque
+from typing import (Callable, Deque, Dict, FrozenSet, Hashable, Iterable,
+                    Iterator, List, Mapping, Optional, Sequence, Tuple)
 
 from ..exceptions import LabelingError
 from ..trajectory.models import MatchedTrajectory, SDPair
@@ -56,6 +67,147 @@ def _group_trajectories(
         )
         groups.setdefault(key, []).append(trajectory)
     return {key: tuple(group) for key, group in groups.items()}
+
+
+class HistoryDelta:
+    """The serialized difference between two consecutive history versions.
+
+    Carries the *full new value* of every group the refresh reallocated —
+    nothing else — so applying it is a plain map update and a chain of
+    deltas composes by overwrite (:func:`merge_deltas`). ``slots_per_day``
+    rides along for validation: a delta is only meaningful against a
+    snapshot with the same slotting. Instances are immutable and picklable;
+    this is the payload a delta-aware ``swap_history`` broadcasts instead
+    of the whole snapshot.
+    """
+
+    __slots__ = ("base_version", "new_version", "slots_per_day", "groups")
+
+    def __init__(
+        self,
+        base_version: int,
+        new_version: int,
+        slots_per_day: int,
+        groups: Dict[SDPair, Tuple[MatchedTrajectory, ...]],
+    ):
+        if base_version < 1:
+            raise LabelingError("a delta's base_version must be >= 1")
+        if new_version <= base_version:
+            raise LabelingError(
+                f"a delta must advance the version (got {base_version} -> "
+                f"{new_version})")
+        if slots_per_day < 1:
+            raise LabelingError("slots_per_day must be at least 1")
+        self.base_version = base_version
+        self.new_version = new_version
+        self.slots_per_day = slots_per_day
+        self.groups = groups
+
+    def segment_universe(self) -> FrozenSet[int]:
+        """Every road segment the delta's groups travel.
+
+        The only segments a receiver gains over its base snapshot — which
+        is why validating a delta-path refresh is O(delta), not O(corpus).
+        """
+        return frozenset(
+            segment
+            for group in self.groups.values()
+            for trajectory in group
+            for segment in trajectory.segments)
+
+    def __getstate__(self) -> dict:
+        return {
+            "base_version": self.base_version,
+            "new_version": self.new_version,
+            "slots_per_day": self.slots_per_day,
+            "groups": self.groups,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.base_version = state["base_version"]
+        self.new_version = state["new_version"]
+        self.slots_per_day = state["slots_per_day"]
+        self.groups = state["groups"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HistoryDelta(v{self.base_version} -> v{self.new_version}, "
+                f"{len(self.groups)} group(s))")
+
+
+def merge_deltas(deltas: Sequence["HistoryDelta"]) -> "HistoryDelta":
+    """Collapse a contiguous delta chain into one delta.
+
+    Each delta's groups carry the full post-refresh value of the pairs it
+    touched, so a later delta's entry supersedes an earlier one's — the
+    merge is a plain overwrite. A gapped or out-of-order chain (delta *i+1*
+    not based on delta *i*'s ``new_version``) is rejected.
+    """
+    chain = list(deltas)
+    if not chain:
+        raise LabelingError("cannot merge an empty delta chain")
+    for delta in chain:
+        if not isinstance(delta, HistoryDelta):
+            raise LabelingError(
+                f"expected a HistoryDelta, got {type(delta).__name__}")
+    if len(chain) == 1:
+        return chain[0]
+    groups = dict(chain[0].groups)
+    previous = chain[0]
+    for delta in chain[1:]:
+        if delta.slots_per_day != previous.slots_per_day:
+            raise LabelingError(
+                "cannot merge deltas with different slots_per_day")
+        if delta.base_version != previous.new_version:
+            raise LabelingError(
+                f"delta chain is not contiguous: v{previous.new_version} is "
+                f"followed by a delta based on v{delta.base_version}")
+        groups.update(delta.groups)
+        previous = delta
+    return HistoryDelta(chain[0].base_version, previous.new_version,
+                        chain[0].slots_per_day, groups)
+
+
+def apply_delta(snapshot: "HistorySnapshot",
+                delta: HistoryDelta) -> "HistorySnapshot":
+    """Reproduce the successor snapshot from a base snapshot plus a delta.
+
+    The receiver-side half of the delta control plane: given the snapshot
+    at ``delta.base_version``, returns a snapshot identical to the one the
+    producer's :meth:`HistorySnapshot.extended` minted — same group map
+    (content *and* iteration order: surviving keys keep their position,
+    new pairs append in delta order, exactly as ``extended`` built them),
+    same carried-forward derived caches for untouched pairs. A snapshot at
+    any other version is rejected (the caller falls back to a full-snapshot
+    swap), as is a slotting mismatch.
+    """
+    if not isinstance(snapshot, HistorySnapshot):
+        raise LabelingError(
+            f"expected a HistorySnapshot, got {type(snapshot).__name__}")
+    if not isinstance(delta, HistoryDelta):
+        raise LabelingError(
+            f"expected a HistoryDelta, got {type(delta).__name__}")
+    if delta.slots_per_day != snapshot.slots_per_day:
+        raise LabelingError(
+            f"delta uses {delta.slots_per_day} time slots per day but the "
+            f"snapshot uses {snapshot.slots_per_day}")
+    if snapshot.version != delta.base_version:
+        raise LabelingError(
+            f"delta applies to history version {delta.base_version} but the "
+            f"snapshot is at version {snapshot.version}")
+    groups = dict(snapshot._groups)
+    groups.update(delta.groups)
+    successor = HistorySnapshot(groups, snapshot.slots_per_day,
+                                delta.new_version)
+    touched = {(key.source, key.destination) for key in delta.groups}
+    successor._statistics_cache = {
+        key: value for key, value in snapshot._statistics_cache.items()
+        if (key[0], key[1]) not in touched}
+    successor._routes_cache = {
+        key: value for key, value in snapshot._routes_cache.items()
+        if (key[0], key[1]) not in touched}
+    if snapshot._segments is not None:
+        successor._segments = snapshot._segments | delta.segment_universe()
+    return successor
 
 
 class HistorySnapshot:
@@ -111,6 +263,10 @@ class HistorySnapshot:
         self._fallback_statistics: Dict[Hashable, object] = {}
         self._fallback_routes: Dict[Hashable, object] = {}
         self._segments: Optional[FrozenSet[int]] = None
+        # Producer-side provenance: the delta that minted this snapshot
+        # from its predecessor (set by ``extended``). Like the memo caches
+        # it is not part of the snapshot's identity and not serialized.
+        self._origin_delta: Optional[HistoryDelta] = None
 
     # --------------------------------------------------------------- identity
     @property
@@ -121,6 +277,17 @@ class HistorySnapshot:
     @property
     def slots_per_day(self) -> int:
         return self._slots_per_day
+
+    @property
+    def origin_delta(self) -> Optional[HistoryDelta]:
+        """The delta that minted this snapshot from its predecessor.
+
+        Set by :meth:`extended` (and therefore by
+        :meth:`RouteHistoryStore.extend`); ``None`` for snapshots built
+        from scratch, rebuilt wholesale, or round-tripped through
+        serialization — provenance never travels, only data does.
+        """
+        return self._origin_delta
 
     # -------------------------------------------------------------- read API
     def groups(self) -> Mapping[SDPair, Tuple[MatchedTrajectory, ...]]:
@@ -219,11 +386,19 @@ class HistorySnapshot:
         values depend on the pair's full cross-slot history. Query-derived
         fallback entries (no-history pairs) are never carried — a refresh
         resets them wholesale, as the pre-refresh cache clearing always did.
+
+        The reallocated groups double as the refresh's
+        :class:`HistoryDelta` (:attr:`origin_delta` on the result), and a
+        computed segment universe extends incrementally instead of being
+        recomputed from the whole corpus.
         """
         additions = _group_trajectories(new_trajectories, self._slots_per_day)
         groups = dict(self._groups)
+        delta_groups: Dict[SDPair, Tuple[MatchedTrajectory, ...]] = {}
         for key, group in additions.items():
-            groups[key] = groups.get(key, ()) + group
+            merged = groups.get(key, ()) + group
+            groups[key] = merged
+            delta_groups[key] = merged
         snapshot = HistorySnapshot(groups, self._slots_per_day, version)
         touched = {(key.source, key.destination) for key in additions}
         snapshot._statistics_cache = {
@@ -232,6 +407,14 @@ class HistorySnapshot:
         snapshot._routes_cache = {
             key: value for key, value in self._routes_cache.items()
             if (key[0], key[1]) not in touched}
+        if self._segments is not None:
+            snapshot._segments = self._segments | frozenset(
+                segment
+                for trajectory in new_trajectories
+                for segment in trajectory.segments)
+        if version > self._version:
+            snapshot._origin_delta = HistoryDelta(
+                self._version, version, self._slots_per_day, delta_groups)
         return snapshot
 
     # -------------------------------------------------------- serialization
@@ -267,10 +450,14 @@ class RouteHistoryStore:
     immutable snapshot and advance ``current``.
     """
 
+    #: Recent deltas retained for :meth:`delta_chain` (per store).
+    MAX_DELTAS = 64
+
     def __init__(self, trajectories: Iterable[MatchedTrajectory] = (),
                  slots_per_day: int = 24):
         self._current = HistorySnapshot.build(trajectories, slots_per_day,
                                               version=1)
+        self._deltas: Deque[HistoryDelta] = deque(maxlen=self.MAX_DELTAS)
         self.extends = 0
         self.rebuilds = 0
 
@@ -282,6 +469,7 @@ class RouteHistoryStore:
                 f"expected a HistorySnapshot, got {type(snapshot).__name__}")
         store = cls.__new__(cls)
         store._current = snapshot
+        store._deltas = deque(maxlen=cls.MAX_DELTAS)
         store.extends = 0
         store.rebuilds = 0
         return store
@@ -312,15 +500,22 @@ class RouteHistoryStore:
             return self._current
         self._current = self._current.extended(new_trajectories,
                                                self._current.version + 1)
+        if self._current.origin_delta is not None:
+            self._deltas.append(self._current.origin_delta)
         self.extends += 1
         return self._current
 
     def rebuild(self, trajectories: Iterable[MatchedTrajectory]
                 ) -> HistorySnapshot:
-        """Mint the next version from scratch (e.g. a rolled-forward window)."""
+        """Mint the next version from scratch (e.g. a rolled-forward window).
+
+        A rebuild has no delta form — the log is cleared, so the next
+        publish after a roll-forward is a full-snapshot swap by design.
+        """
         self._current = HistorySnapshot.build(
             trajectories, self._current.slots_per_day,
             version=self._current.version + 1)
+        self._deltas.clear()
         self.rebuilds += 1
         return self._current
 
@@ -340,8 +535,46 @@ class RouteHistoryStore:
                 f"cannot adopt a snapshot with {snapshot.slots_per_day} time "
                 f"slots per day into a store using "
                 f"{self._current.slots_per_day}")
+        delta = snapshot.origin_delta
+        if delta is not None and delta.base_version == self._current.version:
+            # The adopted snapshot chains off our current one — keep the
+            # delta log continuous so downstream publishes stay cheap.
+            self._deltas.append(delta)
+        else:
+            # Continuity from older versions to this snapshot cannot be
+            # certified; drop the log rather than serve a wrong chain.
+            self._deltas.clear()
         self._current = snapshot
         return self._current
+
+    # --------------------------------------------------------------- deltas
+    def delta_chain(self, base_version: int,
+                    target_version: Optional[int] = None
+                    ) -> Optional[List[HistoryDelta]]:
+        """The contiguous deltas taking ``base_version`` to a target version.
+
+        ``target_version`` defaults to the current version. Returns the
+        chain oldest-first, or ``None`` when the store cannot certify one:
+        the base is not strictly older than the target, the needed deltas
+        have aged out of the bounded log, or a :meth:`rebuild` / foreign
+        :meth:`adopt` broke continuity. Callers fall back to shipping the
+        full snapshot — ``None`` is a routine answer, not an error.
+        """
+        target = self.version if target_version is None else target_version
+        if base_version >= target:
+            return None
+        chain: List[HistoryDelta] = []
+        want = base_version
+        for delta in self._deltas:
+            if delta.new_version <= base_version:
+                continue
+            if delta.base_version != want:
+                return None
+            chain.append(delta)
+            want = delta.new_version
+            if want == target:
+                return chain
+        return None
 
 
 def snapshot_to_bytes(snapshot: HistorySnapshot) -> bytes:
@@ -371,3 +604,30 @@ def clone_snapshot(snapshot: HistorySnapshot) -> HistorySnapshot:
     would.
     """
     return snapshot_from_bytes(snapshot_to_bytes(snapshot))
+
+
+def delta_to_bytes(delta: HistoryDelta) -> bytes:
+    """Serialize a delta to the byte blob a delta-path swap broadcasts.
+
+    Proportional to the touched groups, not the corpus — the whole point
+    of the delta control plane.
+    """
+    return pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def delta_from_bytes(blob: bytes) -> HistoryDelta:
+    """Rebuild a delta from :func:`delta_to_bytes` output."""
+    delta = pickle.loads(blob)
+    if not isinstance(delta, HistoryDelta):
+        raise LabelingError("the blob does not contain a HistoryDelta")
+    return delta
+
+
+def clone_delta(delta: HistoryDelta) -> HistoryDelta:
+    """A deep, independent copy of a delta (serialize round trip).
+
+    The in-process backend's isolation primitive for the delta path: the
+    caller's trajectory objects riding in the delta never alias serving
+    state, mirroring what :func:`clone_snapshot` does for full swaps.
+    """
+    return delta_from_bytes(delta_to_bytes(delta))

@@ -80,6 +80,7 @@ a history refresh is labeled by its pre-refresh history.)
 
 from __future__ import annotations
 
+import pickle
 import queue as queue_module
 import time
 from collections import deque
@@ -88,7 +89,9 @@ from typing import Deque, Hashable, List, NamedTuple, Optional, Sequence
 from ..core.detector import DetectionResult
 from ..core.stream import StreamEngine
 from ..exceptions import ServiceError
-from ..history import HistorySnapshot, clone_snapshot
+from ..history import (HistoryDelta, HistorySnapshot,
+                       apply_delta as apply_history_delta, clone_delta,
+                       clone_snapshot)
 from ..obs.registry import MetricsRegistry, Reservoir
 from ..obs.trace import TraceContext, Tracer, timestamp as obs_timestamp
 from .checkpoint import WeightsSnapshot, model_from_bytes
@@ -137,15 +140,19 @@ def _queue_wait_reservoir(obs_options: Optional[dict]) -> Reservoir:
 class ControlUpdate(NamedTuple):
     """One atomic control-plane update broadcast to every shard.
 
-    Carries new network weights, a new history snapshot, or both — applied
-    at a single quiescent boundary per shard, so "new model + new history"
-    can never be observed half-applied. Built by
-    :meth:`DetectionService.swap` (of which ``swap_model`` and
-    ``swap_history`` are the single-payload special cases).
+    Carries new network weights, a new history — as a full snapshot *or*
+    as a version-keyed :class:`~repro.history.HistoryDelta` of only the
+    touched groups — or both weights and history; everything is applied at
+    a single quiescent boundary per shard, so "new model + new history"
+    can never be observed half-applied. At most one of ``history`` /
+    ``history_delta`` is set: the facade (:meth:`DetectionService.swap`)
+    chooses the delta form when every shard is known to hold the delta's
+    base version, and falls back to the full snapshot otherwise.
     """
 
     weights: Optional[WeightsSnapshot] = None
     history: Optional[HistorySnapshot] = None
+    history_delta: Optional[HistoryDelta] = None
 
 
 def apply_update(engine: StreamEngine, update: ControlUpdate) -> None:
@@ -155,12 +162,21 @@ def apply_update(engine: StreamEngine, update: ControlUpdate) -> None:
     mutating anything, so a bad snapshot leaves the engine fully on the old
     weights *and* the old history. ``load_history`` is an infallible
     reference swap after facade-side validation, so the pair is atomic.
+    A delta-form history is applied to the engine's *current* snapshot;
+    :func:`~repro.history.apply_delta` rejects a base-version mismatch (a
+    gapped, out-of-order or misrouted delta) before the engine repins to
+    anything, so a bad delta leaves the shard fully on its old history and
+    surfaces as this call's exception.
     """
     if update.weights is not None:
         engine.load_weights(update.weights["rsrnet"],
                             update.weights["asdnet"])
     if update.history is not None:
         engine.load_history(update.history)
+    elif update.history_delta is not None:
+        engine.load_history(
+            apply_history_delta(engine.history_snapshot,
+                                update.history_delta))
 
 
 def apply_event(engine: StreamEngine, event: IngestEvent) -> None:
@@ -511,11 +527,27 @@ class InProcessBackend(ServiceBackend):
         # backend from the caller's live snapshot (whose memo caches would
         # otherwise leak into serving, and vice versa) and keeps every
         # shard on the same object, exactly like at construction.
+        # A delta-form update gets the same isolation per shard: each shard
+        # applies its own clone of the delta to the snapshot it currently
+        # serves (they all read it *before* anyone repins, since the shared
+        # pipeline means the first repin changes every engine's current
+        # snapshot) — so the caller's trajectory objects riding in the
+        # delta never alias serving state, and a base-version mismatch is
+        # rejected before any engine has repinned.
         self.drain()
         if update.history is not None:
             update = update._replace(history=clone_snapshot(update.history))
-        for state in self._shards:
-            apply_update(state.engine, update)
+        successors: Optional[List[HistorySnapshot]] = None
+        if update.history_delta is not None:
+            successors = [
+                apply_history_delta(state.engine.history_snapshot,
+                                    clone_delta(update.history_delta))
+                for state in self._shards]
+            update = update._replace(history_delta=None)
+        for index, state in enumerate(self._shards):
+            shard_update = (update if successors is None
+                            else update._replace(history=successors[index]))
+            apply_update(state.engine, shard_update)
             if update.weights is not None:
                 state.swaps += 1
 
@@ -744,6 +776,13 @@ def _shard_worker(shard_id: int, blob: bytes, engine_overrides: dict,
             elif kind == "swap":
                 quiesce()
                 update = command[1]
+                if isinstance(update, bytes):
+                    # The facade pre-pickled the update once for the whole
+                    # broadcast (a delta or a full snapshot alike); each
+                    # worker unpickles its own copy, which doubles as the
+                    # per-shard isolation the in-process backend gets from
+                    # clone_snapshot/clone_delta.
+                    update = pickle.loads(update)
                 apply_update(engine, update)
                 if update.weights is not None:
                     swaps += 1
@@ -978,9 +1017,14 @@ class ProcessBackend(ServiceBackend):
         # labeled by the old weights/history (the worker quiesces before
         # loading). Every shard's reply is consumed before any error is
         # raised — an unread reply would answer that shard's *next* request
-        # and desync the whole protocol.
+        # and desync the whole protocol. The update is pickled ONCE here
+        # and shipped as bytes: mp.Queue would otherwise re-pickle the
+        # whole payload per shard, which is exactly the O(shards × corpus)
+        # cost that made full-snapshot history refreshes collapse at four
+        # process shards (benchmarks/results/history_refresh.txt).
+        blob = pickle.dumps(update, protocol=pickle.HIGHEST_PROTOCOL)
         for shard in self._shards:
-            shard.commands.put(("swap", update))
+            shard.commands.put(("swap", blob))
         first_error: Optional[BaseException] = None
         for shard in self._shards:
             try:

@@ -41,7 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Bump when the payload layout changes incompatibly.
 #: v2: the pipeline pins a versioned HistorySnapshot; ``history_version``
 #: is persisted explicitly and checked on load.
-CHECKPOINT_VERSION = 2
+#: v3: optional ``history_storage="archived"`` — the history corpus lives
+#: in a content-addressed :class:`~repro.history.HistoryArchive` and the
+#: checkpoint references it by version instead of embedding it; the v3
+#: reader still accepts v2 payloads (absent key == "embedded").
+CHECKPOINT_VERSION = 3
+
+#: Payload versions :func:`load_model` / :func:`model_from_bytes` accept.
+_READABLE_VERSIONS = (2, 3)
 
 _MAGIC = "repro-rl4oasd-checkpoint"
 
@@ -61,7 +68,22 @@ def weights_snapshot(model: "RL4OASDModel") -> WeightsSnapshot:
     }
 
 
-def _payload(model: "RL4OASDModel") -> dict:
+def _payload(model: "RL4OASDModel", history_storage: str = "embedded") -> dict:
+    pipeline = model.pipeline
+    history_version = pipeline.history.version
+    if history_storage == "archived":
+        # Replace the corpus with an empty placeholder at the true version;
+        # `_restore` rehydrates through the archive. The placeholder keeps
+        # the pipeline blob structurally complete (vocabulary, config,
+        # SD-index all persist as usual) while shedding its heaviest part.
+        from ..history import HistorySnapshot
+
+        pipeline = pipeline.with_history(HistorySnapshot(
+            {}, pipeline.history.slots_per_day, history_version))
+    elif history_storage != "embedded":
+        raise CheckpointError(
+            f"unknown history_storage {history_storage!r}; "
+            f"use 'embedded' or 'archived'")
     return {
         "magic": _MAGIC,
         "version": CHECKPOINT_VERSION,
@@ -71,13 +93,14 @@ def _payload(model: "RL4OASDModel") -> dict:
         "asdnet_config": model.asdnet.config,
         "vocabulary_size": len(model.pipeline.vocabulary),
         "training_config": model.training_config,
-        "pipeline": model.pipeline,
-        "history_version": model.pipeline.history.version,
+        "pipeline": pipeline,
+        "history_version": history_version,
+        "history_storage": history_storage,
         "report": model.report,
     }
 
 
-def _restore(payload: dict) -> "RL4OASDModel":
+def _restore(payload: dict, archive=None) -> "RL4OASDModel":
     from ..core.asdnet import ASDNet
     from ..core.rl4oasd import RL4OASDModel
     from ..core.rsrnet import RSRNet
@@ -85,10 +108,11 @@ def _restore(payload: dict) -> "RL4OASDModel":
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
         raise CheckpointError("not an RL4OASD checkpoint")
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise CheckpointError(
             f"checkpoint version {version!r} is not supported "
-            f"(this build reads version {CHECKPOINT_VERSION})")
+            f"(this build reads versions "
+            f"{', '.join(map(str, _READABLE_VERSIONS))})")
     rsrnet = RSRNet(vocabulary_size=payload["vocabulary_size"],
                     config=payload["rsrnet_config"])
     rsrnet.load_state_dict(payload["rsrnet_state"])
@@ -96,6 +120,19 @@ def _restore(payload: dict) -> "RL4OASDModel":
                     config=payload["asdnet_config"])
     asdnet.load_state_dict(payload["asdnet_state"])
     pipeline = payload["pipeline"]
+    # v2 payloads predate the key: their history is always embedded.
+    storage = payload.get("history_storage", "embedded")
+    if storage == "archived":
+        if archive is None:
+            raise CheckpointError(
+                "this checkpoint stores its history in an archive "
+                f"(version {payload['history_version']}); pass archive= "
+                "(a repro.history.HistoryArchive) to load it")
+        pipeline = pipeline.with_history(
+            archive.load(payload["history_version"]))
+    elif storage != "embedded":
+        raise CheckpointError(
+            f"unknown history_storage {storage!r} in checkpoint")
     if pipeline.history.version != payload["history_version"]:
         raise CheckpointError(
             f"checkpoint claims history version {payload['history_version']} "
@@ -132,17 +169,41 @@ def clone_model(model: "RL4OASDModel") -> "RL4OASDModel":
     return model_from_bytes(model_to_bytes(model))
 
 
-def save_model(model: "RL4OASDModel", path: Union[str, Path]) -> Path:
-    """Write a model checkpoint to ``path``; returns the resolved path."""
+def save_model(model: "RL4OASDModel", path: Union[str, Path],
+               archive=None) -> Path:
+    """Write a model checkpoint to ``path``; returns the resolved path.
+
+    With ``archive`` (a :class:`~repro.history.HistoryArchive`) the history
+    corpus is archived there — content-addressed, so consecutive saves of
+    copy-on-write versions share their untouched group blobs — and the
+    checkpoint references it by version (``history_storage="archived"``)
+    instead of embedding it. Loading such a checkpoint needs the same (or a
+    replicated) archive passed to :func:`load_model`.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_bytes(model_to_bytes(model))
+    if archive is not None:
+        archive.save(model.pipeline.history,
+                     provenance={"source": "checkpoint", "path": str(path)})
+        blob = pickle.dumps(_payload(model, history_storage="archived"),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        blob = model_to_bytes(model)
+    path.write_bytes(blob)
     return path
 
 
-def load_model(path: Union[str, Path]) -> "RL4OASDModel":
-    """Load a model checkpoint previously written by :func:`save_model`."""
+def load_model(path: Union[str, Path], archive=None) -> "RL4OASDModel":
+    """Load a model checkpoint previously written by :func:`save_model`.
+
+    Reads both embedded (v2 and v3) and archived (v3) checkpoints;
+    ``archive`` is required for — and only read by — the archived form.
+    """
     path = Path(path)
     if not path.is_file():
         raise CheckpointError(f"no checkpoint at {path}")
-    return model_from_bytes(path.read_bytes())
+    try:
+        payload = pickle.loads(path.read_bytes())
+    except Exception as error:
+        raise CheckpointError(f"corrupt checkpoint blob: {error}") from error
+    return _restore(payload, archive=archive)

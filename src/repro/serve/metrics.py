@@ -278,6 +278,13 @@ class ServiceMetrics:
     model_version: int = 0
     history_version: int = 0
     history_refreshes: int = 0
+    #: History refreshes that rode the delta control plane (only the
+    #: touched SD-pair groups on the wire) vs. full-snapshot broadcasts,
+    #: plus the serialized history payload bytes across both forms — the
+    #: numbers that certify delta swaps are actually cheap.
+    delta_swaps: int = 0
+    full_swaps: int = 0
+    swap_payload_bytes: int = 0
     gateway: Optional[GatewayStats] = None
     matchers: List[MatcherShardStats] = field(default_factory=list)
     bus: List[BusStats] = field(default_factory=list)
@@ -352,7 +359,9 @@ class ServiceMetrics:
             f"{self.batched_ingests} batched ingests, "
             f"model v{self.model_version}, "
             f"history v{self.history_version} "
-            f"({self.history_refreshes} refreshes)",
+            f"({self.history_refreshes} refreshes: "
+            f"{self.delta_swaps} delta / {self.full_swaps} full, "
+            f"{self.swap_payload_bytes} payload bytes)",
         ]
         for shard in self.shards:
             lines.append(
@@ -411,6 +420,15 @@ def metrics_to_registry(metrics: ServiceMetrics, registry=None):
             (metrics.async_finalizes, "Streams closed through the data plane"),
         "repro_service_history_refreshes_total":
             (metrics.history_refreshes, "Fleet-wide history hot-refreshes"),
+        "repro_history_delta_swaps_total":
+            (metrics.delta_swaps,
+             "History refreshes broadcast as version-keyed deltas"),
+        "repro_history_full_swaps_total":
+            (metrics.full_swaps,
+             "History refreshes broadcast as full snapshots"),
+        "repro_history_swap_bytes_total":
+            (metrics.swap_payload_bytes,
+             "Serialized history payload bytes across all swaps"),
         "repro_service_results_delivered_total":
             (metrics.results_delivered, "Envelopes accepted at the facade"),
         "repro_service_results_duplicates_total":

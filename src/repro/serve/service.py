@@ -61,7 +61,8 @@ from ..config import ObsConfig
 from ..core.detector import DetectionResult
 from ..core.rl4oasd import RL4OASDModel
 from ..exceptions import ServiceError
-from ..history import HistorySnapshot, RouteHistoryStore
+from ..history import (HistoryDelta, HistorySnapshot, RouteHistoryStore,
+                       delta_to_bytes, merge_deltas, snapshot_to_bytes)
 from ..labeling.features import PreprocessingPipeline
 from ..obs.exposition import (MetricsServer, add_process_metrics,
                               render_prometheus)
@@ -127,6 +128,18 @@ class DetectionService:
         self._model_version = 1
         self._history_version = model.pipeline.history.version
         self._history_refreshes = 0
+        # Delta control plane state: the last history version each shard
+        # acknowledged (all shards start on the construction snapshot), the
+        # swap-form counters, and the segments already proven to be in the
+        # serving vocabulary — the vocabulary is immutable for the service's
+        # lifetime, so a segment validated once never needs re-checking and
+        # a delta swap validates only the segments the delta introduces.
+        self._shard_history_acks: List[Optional[int]] = (
+            [self._history_version] * num_shards)
+        self._delta_swaps = 0
+        self._full_swaps = 0
+        self._swap_payload_bytes = 0
+        self._validated_segments: set = set()
         self._plane_installed = False
         self._closed = False
         # Observability is strictly opt-in: with no ObsConfig the facade
@@ -164,11 +177,17 @@ class DetectionService:
                 f"unknown backend {backend!r}; use 'inprocess' or 'process'")
 
     @classmethod
-    def from_checkpoint(cls, path, **kwargs) -> "DetectionService":
-        """Build a service straight from a saved model checkpoint."""
+    def from_checkpoint(cls, path, archive=None, **kwargs) -> "DetectionService":
+        """Build a service straight from a saved model checkpoint.
+
+        ``archive`` is the :class:`~repro.history.HistoryArchive` to
+        rehydrate history from when the checkpoint was saved in archived
+        mode (format v3 with ``history_storage="archived"``); embedded
+        checkpoints ignore it.
+        """
         from .checkpoint import load_model
 
-        return cls(load_model(path), **kwargs)
+        return cls(load_model(path, archive=archive), **kwargs)
 
     # ------------------------------------------------------------ properties
     @property
@@ -706,6 +725,19 @@ class DetectionService:
         :class:`~repro.history.RouteHistoryStore` / pipeline / model that
         holds one. Returns ``(model_version, history_version)`` after the
         update.
+
+        **Delta form.** When every shard is known to hold the delta's base
+        version — tracked per shard across successful swaps — and the
+        producer's store (pass the store / pipeline / model, not a bare
+        snapshot) still holds a contiguous delta chain from that base, the
+        history rides as a :class:`~repro.history.HistoryDelta` of only the
+        touched SD-pair groups instead of the full corpus. Any gap
+        (restarted producer, rebuilt history, a shard that missed a swap,
+        an earlier failed broadcast) silently falls back to the
+        full-snapshot form — the delta plane is an optimization, never a
+        correctness dependency. :meth:`metrics` counts the chosen form
+        (``delta_swaps`` / ``full_swaps``) and the serialized history
+        payload bytes (``swap_payload_bytes``).
         """
         self._require_open_service()
         if weights is None and history is None:
@@ -724,15 +756,40 @@ class DetectionService:
             # promises to avoid.
             self._rsrnet_template.validate_state_dict(snapshot["rsrnet"])
             self._asdnet_template.validate_state_dict(snapshot["asdnet"])
-        history_snapshot = (self._coerce_history(history)
-                            if history is not None else None)
-        self._backend.swap(ControlUpdate(weights=snapshot,
-                                         history=history_snapshot))
+        history_snapshot: Optional[HistorySnapshot] = None
+        delta: Optional[HistoryDelta] = None
+        if history is not None:
+            history_snapshot, store = self._coerce_history(history)
+            delta = self._plan_history_delta(history_snapshot, store)
+            self._validate_history_segments(history_snapshot, delta)
+        update = ControlUpdate(
+            weights=snapshot,
+            history=None if delta is not None else history_snapshot,
+            history_delta=delta)
+        try:
+            self._backend.swap(update)
+        except BaseException:
+            if history_snapshot is not None:
+                # The broadcast may have landed on some shards and not
+                # others; until a full-snapshot swap succeeds again we no
+                # longer know what any shard serves, so the delta path
+                # must stay off.
+                self._shard_history_acks = [None] * self._num_shards
+            raise
         if snapshot is not None:
             self._model_version += 1
         if history_snapshot is not None:
             self._history_version = history_snapshot.version
             self._history_refreshes += 1
+            self._shard_history_acks = (
+                [history_snapshot.version] * self._num_shards)
+            if delta is not None:
+                self._delta_swaps += 1
+                self._swap_payload_bytes += len(delta_to_bytes(delta))
+            else:
+                self._full_swaps += 1
+                self._swap_payload_bytes += len(
+                    snapshot_to_bytes(history_snapshot))
         return self._model_version, self._history_version
 
     def swap_model(
@@ -763,13 +820,24 @@ class DetectionService:
         """
         return self.swap(history=history)[1]
 
-    def _coerce_history(self, history) -> HistorySnapshot:
-        """Resolve a swap's history argument to its validated snapshot."""
+    def _coerce_history(
+        self, history
+    ) -> Tuple[HistorySnapshot, Optional[RouteHistoryStore]]:
+        """Resolve a swap's history argument to ``(snapshot, store)``.
+
+        The store (when the caller passed one, directly or via a model /
+        pipeline) is what the delta planner asks for a chain from the
+        shards' acked base; a bare snapshot has no store, so it can at
+        best ride its own single-step ``origin_delta``.
+        """
+        store: Optional[RouteHistoryStore] = None
         if isinstance(history, RL4OASDModel):
             history = history.pipeline
         if isinstance(history, PreprocessingPipeline):
+            store = history.store
             history = history.history
         if isinstance(history, RouteHistoryStore):
+            store = history
             history = history.current()
         if not isinstance(history, HistorySnapshot):
             raise ServiceError(
@@ -780,12 +848,55 @@ class DetectionService:
                 f"history snapshot uses {history.slots_per_day} time slots "
                 f"per day but the service was built for "
                 f"{self._labeling_config.time_slots_per_day}")
-        # Fail fast on segments the serving vocabulary cannot express: a
-        # worker would only trip over them lazily, at some later stream's
-        # normal-route resolution — long after a partial broadcast.
-        for segment in history.segment_universe():
+        return history, store
+
+    def _plan_history_delta(
+        self, snapshot: HistorySnapshot,
+        store: Optional[RouteHistoryStore]
+    ) -> Optional[HistoryDelta]:
+        """The delta to broadcast instead of ``snapshot``, if one is safe.
+
+        Safe means: every shard acknowledged the *same* base version (a
+        ``None`` ack — a failed earlier broadcast — disqualifies the whole
+        fleet), the base precedes the target, and a contiguous chain from
+        base to target still exists — in the producer's store log or, for
+        a store-less snapshot one step ahead, as its own
+        :attr:`~repro.history.HistorySnapshot.origin_delta`. Returns
+        ``None`` otherwise: the caller falls back to the full snapshot.
+        """
+        acks = set(self._shard_history_acks)
+        if len(acks) != 1:
+            return None
+        base = acks.pop()
+        if base is None or base >= snapshot.version:
+            return None
+        if store is not None:
+            chain = store.delta_chain(base, snapshot.version)
+            if chain:
+                return chain[0] if len(chain) == 1 else merge_deltas(chain)
+        origin = snapshot.origin_delta
+        if origin is not None and origin.base_version == base:
+            return origin
+        return None
+
+    def _validate_history_segments(
+        self, snapshot: HistorySnapshot,
+        delta: Optional[HistoryDelta]
+    ) -> None:
+        """Fail fast on segments the serving vocabulary cannot express: a
+        worker would only trip over them lazily, at some later stream's
+        normal-route resolution — long after a partial broadcast. Validated
+        segments are cached (the vocabulary never changes), so a delta swap
+        checks only the segments its touched groups introduce instead of
+        walking the whole corpus — the O(corpus) scan that used to dominate
+        small refreshes.
+        """
+        universe = (delta.segment_universe() if delta is not None
+                    else snapshot.segment_universe())
+        fresh = universe - self._validated_segments
+        for segment in fresh:
             self._vocabulary.token(segment)
-        return history
+        self._validated_segments |= fresh
 
     # -------------------------------------------------------------- metrics
     def metrics(self) -> ServiceMetrics:
@@ -800,6 +911,9 @@ class DetectionService:
             model_version=self._model_version,
             history_version=self._history_version,
             history_refreshes=self._history_refreshes,
+            delta_swaps=self._delta_swaps,
+            full_swaps=self._full_swaps,
+            swap_payload_bytes=self._swap_payload_bytes,
             bus=self._backend.bus_stats(),
             results_delivered=self._collector.accepted,
             results_duplicates=self._collector.duplicates,

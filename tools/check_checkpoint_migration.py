@@ -1,0 +1,108 @@
+"""Checkpoint-migration check run by the CI history job.
+
+Proves the v3 checkpoint reader still accepts the previous on-disk format:
+trains a tiny model, saves it (format v3, embedded history), rewrites the
+payload into the v2 layout (``version=2``, no ``history_storage`` key —
+exactly what a pre-archive build wrote), loads it through the current
+reader and asserts the loaded model serves label-identically to the
+original. Also asserts the reader refuses an unknown future version, so a
+downgrade failure is a clear error rather than a misparse.
+
+Run locally with::
+
+    PYTHONPATH=src python tools/check_checkpoint_migration.py
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.config import (
+    ASDNetConfig,
+    LabelingConfig,
+    RSRNetConfig,
+    TrainingConfig,
+)
+from repro.core import RL4OASDTrainer
+from repro.datagen import tiny_dataset
+from repro.exceptions import CheckpointError
+from repro.serve.checkpoint import CHECKPOINT_VERSION, load_model, save_model
+
+
+def train_tiny_model():
+    dataset = tiny_dataset(seed=3)
+    train, rest = dataset.train_test_split(train_size=180, seed=0)
+    development, test = rest[:30], rest[30:]
+    trainer = RL4OASDTrainer(
+        dataset.network, train,
+        labeling_config=LabelingConfig(alpha=0.35, delta=0.25),
+        rsrnet_config=RSRNetConfig(embedding_dim=24, hidden_dim=24,
+                                   nrf_dim=12, seed=5),
+        asdnet_config=ASDNetConfig(label_embedding_dim=12, learning_rate=0.01,
+                                   seed=6),
+        training_config=TrainingConfig(
+            pretrain_trajectories=120, pretrain_epochs=2,
+            joint_trajectories=30, joint_epochs=1, validation_interval=30,
+            seed=7),
+        development_set=development,
+    )
+    return trainer.train(), test
+
+
+def rewrite_as_v2(v3_path: Path, v2_path: Path) -> None:
+    payload = pickle.loads(v3_path.read_bytes())
+    assert payload["version"] == CHECKPOINT_VERSION, payload["version"]
+    assert payload["history_storage"] == "embedded"
+    payload["version"] = 2
+    del payload["history_storage"]
+    v2_path.write_bytes(pickle.dumps(payload,
+                                     protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def main() -> int:
+    model, probes = train_tiny_model()
+    with tempfile.TemporaryDirectory() as scratch:
+        v3_path = Path(scratch) / "model_v3.pkl"
+        v2_path = Path(scratch) / "model_v2.pkl"
+        save_model(model, v3_path)
+        rewrite_as_v2(v3_path, v2_path)
+        migrated = load_model(v2_path)
+        mismatches = 0
+        for trajectory in probes:
+            expected = model.detector().detect(trajectory)
+            got = migrated.detector().detect(trajectory)
+            if expected.labels != got.labels:
+                mismatches += 1
+        if mismatches:
+            print(f"ERROR: v2 checkpoint loaded through the v{CHECKPOINT_VERSION} "
+                  f"reader mislabeled {mismatches}/{len(probes)} trajectories")
+            return 1
+        if migrated.pipeline.history.version != model.pipeline.history.version:
+            print("ERROR: migrated model lost the pinned history version")
+            return 1
+
+        payload = pickle.loads(v3_path.read_bytes())
+        payload["version"] = 99
+        future_path = Path(scratch) / "model_v99.pkl"
+        future_path.write_bytes(pickle.dumps(payload))
+        try:
+            load_model(future_path)
+        except CheckpointError as error:
+            if "99" not in str(error):
+                print(f"ERROR: unreadable-version error does not name the "
+                      f"version: {error}")
+                return 1
+        else:
+            print("ERROR: the reader accepted an unknown checkpoint version")
+            return 1
+    print(f"checkpoint migration OK: v2 payload reads through the "
+          f"v{CHECKPOINT_VERSION} reader label-identically "
+          f"({len(probes)} probe trajectories), unknown versions refused")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,12 @@ PUBLIC_SURFACE = {
         "model_from_bytes",
     ],
     "repro.serve.checkpoint": ["CHECKPOINT_VERSION", "save_model", "load_model"],
+    "repro.history": [
+        "HistorySnapshot", "RouteHistoryStore", "HistoryDelta", "apply_delta",
+        "merge_deltas", "snapshot_to_bytes", "snapshot_from_bytes",
+        "clone_snapshot", "delta_to_bytes", "delta_from_bytes", "clone_delta",
+        "HistoryArchive", "RollForwardDriver", "RollForwardStats",
+    ],
     "repro.serve.backends": ["InProcessBackend", "ProcessBackend", "IngestEvent"],
     "repro.serve.metrics": ["GatewayStats", "ServiceMetrics", "ShardStats"],
     "repro.ingest": ["GpsGateway", "SessionResult", "serve_raw_fleet"],
